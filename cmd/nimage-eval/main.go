@@ -1,0 +1,140 @@
+// Command nimage-eval regenerates the paper's evaluation (Sec. 7): the
+// page-fault reductions of Figures 2 and 3, the execution-time speedups of
+// Figures 4 and 5, the profiling-overhead table of Sec. 7.4, the
+// accessed-object fraction of Sec. 7.2, and the Fig. 6 page-grid
+// visualization. Results are printed as ASCII charts and written as CSV
+// files into the output directory.
+//
+// Usage:
+//
+//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6] [-builds N] [-iters N] [-device ssd|nfs] [-out output]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"nimage/internal/eval"
+	"nimage/internal/osim"
+	"nimage/internal/textviz"
+	"nimage/internal/workloads"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6")
+	builds := flag.Int("builds", 3, "images per strategy (paper: 10)")
+	iters := flag.Int("iters", 3, "cold runs per image (paper: 10)")
+	device := flag.String("device", "ssd", "storage device: ssd|nfs")
+	out := flag.String("out", "output", "output directory for CSV/PPM files")
+	viz := flag.String("viz-workload", "Bounce", "workload of the Fig. 6 visualization")
+	flag.Parse()
+
+	cfg := eval.DefaultConfig()
+	cfg.Builds = *builds
+	cfg.Iterations = *iters
+	if *device == "nfs" {
+		cfg.Device = osim.NFS()
+	}
+	h := eval.NewHarness(cfg)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	run := func(name string, f func() error) {
+		if *figure != "all" && *figure != name {
+			return
+		}
+		if err := f(); err != nil {
+			fail(fmt.Errorf("figure %s: %w", name, err))
+		}
+	}
+
+	table := func(file string, make func() (*eval.Table, error)) error {
+		t, err := make()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		path := filepath.Join(*out, file)
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+		return nil
+	}
+
+	run("2", func() error { return table("figure2-pagefaults-awfy.csv", h.Figure2) })
+	run("3", func() error { return table("figure3-pagefaults-microservices.csv", h.Figure3) })
+	run("4", func() error { return table("figure4-speedup-microservices.csv", h.Figure4) })
+	run("5", func() error { return table("figure5-speedup-awfy.csv", h.Figure5) })
+	run("overhead", func() error {
+		return table("overhead.csv", func() (*eval.Table, error) { return h.Overhead(workloads.All()) })
+	})
+	run("accessed", func() error {
+		fracs, err := h.AccessedFraction(workloads.AWFY())
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(fracs))
+		for n := range fracs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var sb strings.Builder
+		sb.WriteString("workload,accessed_fraction\n")
+		sum := 0.0
+		fmt.Println("Accessed snapshot-object fraction (Sec. 7.2; paper: ~4% on AWFY)")
+		for _, n := range names {
+			fmt.Printf("  %-12s %5.1f%%\n", n, 100*fracs[n])
+			fmt.Fprintf(&sb, "%s,%.4f\n", n, fracs[n])
+			sum += fracs[n]
+		}
+		fmt.Printf("  %-12s %5.1f%%\n", "mean", 100*sum/float64(len(fracs)))
+		path := filepath.Join(*out, "accessed-fraction.csv")
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+		return nil
+	})
+	run("6", func() error {
+		regular, optimized, err := h.Figure6(*viz)
+		if err != nil {
+			return err
+		}
+		txt := textviz.SideBySide(
+			fmt.Sprintf("Figure 6a: %s .text, regular binary", *viz), regular,
+			fmt.Sprintf("Figure 6b: %s .text, cu-ordered binary", *viz), optimized,
+			64)
+		fmt.Println(txt)
+		if err := os.WriteFile(filepath.Join(*out, "figure6.txt"), []byte(txt), 0o644); err != nil {
+			return err
+		}
+		for _, part := range []struct {
+			name   string
+			states []osim.PageState
+		}{{"figure6a-regular.ppm", regular}, {"figure6b-cu.ppm", optimized}} {
+			path := filepath.Join(*out, part.name)
+			if err := os.WriteFile(path, []byte(textviz.PPM(part.states, 64, 4)), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	fmt.Printf("done in %v (builds=%d, iterations=%d, device=%s)\n",
+		time.Since(start).Round(time.Millisecond), cfg.Builds, cfg.Iterations, cfg.Device.Name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nimage-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,247 @@
+// Command nimage drives the simulated Native-Image toolchain on the
+// built-in workloads: build images, run them cold, execute the
+// profile-guided pipeline, and visualize page-fault maps.
+//
+// Usage:
+//
+//	nimage info
+//	nimage build   -workload Bounce [-kind regular|instrumented|optimized] [-seed N]
+//	nimage run     -workload Bounce [-strategy cu] [-device ssd|nfs] [-iters N]
+//	nimage profile -workload Bounce -strategy "heap path" [-out profile.csv] [-trace trace.bin]
+//	nimage viz     -workload Bounce [-section text|heap] [-ppm out.ppm]
+//	nimage export  -workload Towers -strategy "cu+heap path" -o towers.nimg
+//	nimage exec    -image towers.nimg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nimage"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "viz":
+		err = cmdViz(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "exec":
+		err = cmdExec(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "nimage: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nimage:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nimage <command> [flags]
+
+commands:
+  info      list workloads and their compiled-world sizes
+  build     build one image and print its layout
+  run       build and run images cold, print page faults and times
+  profile   run the profile-guided pipeline, write ordering profiles
+  viz       render the Fig. 6 page-fault grid (-section text|heap)
+  export    build an image and write its portable .nimg recipe
+  exec      bake a .nimg recipe and run it cold
+
+run 'nimage <command> -h' for flags`)
+}
+
+func workloadFlag(fs *flag.FlagSet) *string {
+	return fs.String("workload", "Bounce", "workload name (see 'nimage info')")
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h := nimage.NewHarness(nimage.DefaultEvalConfig())
+	fmt.Println("workloads (AWFY + microservices):")
+	info, err := h.CompilerInfo(nimage.AllWorkloads())
+	if err != nil {
+		return err
+	}
+	fmt.Print(info)
+	fmt.Println("\nstrategies:", nimage.Strategies())
+	return nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	name := workloadFlag(fs)
+	kind := fs.String("kind", "regular", "build kind: regular|instrumented|optimized")
+	strategy := fs.String("strategy", nimage.StrategyCU, "strategy for instrumented/optimized builds")
+	seed := fs.Uint64("seed", 1, "build seed (non-determinism source)")
+	dump := fs.String("dump", "", "disassemble the method with this signature (e.g. 'BounceBench.benchmark(1)')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := nimage.WorkloadByName(*name)
+	if err != nil {
+		return err
+	}
+	p := w.Build()
+
+	var img *nimage.Image
+	switch *kind {
+	case "regular", "instrumented":
+		opts := nimage.BuildOptions{
+			Kind:      nimage.KindRegular,
+			Compiler:  nimage.DefaultCompilerConfig(),
+			BuildSeed: *seed,
+		}
+		if *kind == "instrumented" {
+			opts.Kind = nimage.KindInstrumented
+		}
+		img, err = nimage.BuildImage(p, opts)
+	case "optimized":
+		var res *nimage.PipelineResult
+		res, err = nimage.ProfileAndOptimize(p, nimage.PipelineOptions{
+			Compiler:         nimage.DefaultCompilerConfig(),
+			Strategy:         *strategy,
+			InstrumentedSeed: *seed + 100,
+			OptimizedSeed:    *seed,
+			Mode:             serviceMode(w),
+			Args:             w.Args,
+			Service:          w.Service,
+		})
+		if res != nil {
+			img = res.Optimized
+		}
+	default:
+		return fmt.Errorf("unknown build kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s build, seed %d)\n", w.Name, *kind, *seed)
+	fmt.Printf("  classes:           %d\n", len(p.Classes))
+	fmt.Printf("  methods:           %d\n", p.NumMethods())
+	fmt.Printf("  compilation units: %d\n", len(img.CULayout))
+	fmt.Printf("  snapshot objects:  %d (%d bytes)\n", len(img.Snapshot.Objects), img.Snapshot.TotalSize)
+	fmt.Printf("  .text:             %d bytes at %d (native tail %d bytes)\n", img.TextSize(), img.TextSection.Off, img.NativeLen)
+	fmt.Printf("  .svm_heap:         %d bytes at %d\n", img.HeapSize(), img.HeapSection.Off)
+	fmt.Printf("  file size:         %d bytes\n", img.FileSize)
+	if *kind == "optimized" {
+		fmt.Printf("  code profile:      %d/%d entries matched\n", img.CodeOrderStats.Matched, img.CodeOrderStats.ProfileLen)
+		fmt.Printf("  heap profile:      %d objects matched (%d entries)\n", img.HeapMatchStats.MatchedObjects, img.HeapMatchStats.ProfileLen)
+	}
+	if *dump != "" {
+		var target *nimage.Method
+		for _, c := range p.Classes {
+			for _, m := range c.Methods {
+				if m.Signature() == *dump {
+					target = m
+				}
+			}
+		}
+		if target == nil {
+			return fmt.Errorf("no method with signature %q", *dump)
+		}
+		fmt.Println()
+		fmt.Print(nimage.Disassemble(target))
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := workloadFlag(fs)
+	strategy := fs.String("strategy", "", "optimize with this strategy first (empty = regular build)")
+	device := fs.String("device", "ssd", "storage device: ssd|nfs")
+	iters := fs.Int("iters", 3, "cold iterations (caches dropped in between)")
+	seed := fs.Uint64("seed", 1, "build seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := nimage.WorkloadByName(*name)
+	if err != nil {
+		return err
+	}
+	p := w.Build()
+
+	var img *nimage.Image
+	if *strategy == "" {
+		img, err = nimage.BuildImage(p, nimage.BuildOptions{
+			Kind: nimage.KindRegular, Compiler: nimage.DefaultCompilerConfig(), BuildSeed: *seed,
+		})
+	} else {
+		var res *nimage.PipelineResult
+		res, err = nimage.ProfileAndOptimize(p, nimage.PipelineOptions{
+			Compiler:         nimage.DefaultCompilerConfig(),
+			Strategy:         *strategy,
+			InstrumentedSeed: *seed + 100,
+			OptimizedSeed:    *seed,
+			Mode:             serviceMode(w),
+			Args:             w.Args,
+			Service:          w.Service,
+		})
+		if res != nil {
+			img = res.Optimized
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	dev := nimage.SSD()
+	if *device == "nfs" {
+		dev = nimage.NFS()
+	}
+	o := nimage.NewOS(dev)
+	layout := "regular"
+	if *strategy != "" {
+		layout = *strategy
+	}
+	fmt.Printf("%s (%s layout, %s, %d cold iterations)\n", w.Name, layout, dev.Name, *iters)
+	for it := 0; it < *iters; it++ {
+		o.DropCaches()
+		proc, err := img.NewProcess(o, nimage.Hooks{})
+		if err != nil {
+			return err
+		}
+		proc.Machine.StopOnRespond = w.Service
+		if err := proc.Run(w.Args...); err != nil {
+			proc.Close()
+			return err
+		}
+		st := proc.Stats()
+		line := fmt.Sprintf("  iter %d: .text faults %d, .svm_heap faults %d, total faults %d, cpu %v, io %v, total %v",
+			it, st.TextFaults.Total(), st.HeapFaults.Total(), st.TotalFaults, st.CPUTime, st.IOTime, st.Total)
+		if w.Service {
+			line += fmt.Sprintf(", time-to-first-response %v", st.TimeToResponse)
+		}
+		fmt.Println(line)
+		if it == 0 {
+			fmt.Printf("  accessed %d of %d snapshot objects (%.1f%%)\n",
+				st.AccessedObjects, st.SnapshotObjects,
+				100*float64(st.AccessedObjects)/float64(st.SnapshotObjects))
+		}
+		proc.Close()
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The commands are plain functions over argument slices, so they can be
+// exercised end to end without spawning processes.
+
+func TestCmdInfo(t *testing.T) {
+	if err := cmdInfo(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdBuildRegularAndDump(t *testing.T) {
+	if err := cmdBuild([]string{"-workload", "Sieve", "-dump", "SieveBench.sieve(1)"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBuild([]string{"-workload", "Sieve", "-dump", "No.such(0)"}); err == nil {
+		t.Fatal("unknown dump signature accepted")
+	}
+	if err := cmdBuild([]string{"-workload", "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := cmdBuild([]string{"-workload", "Sieve", "-kind", "bogus"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestCmdBuildOptimized(t *testing.T) {
+	if err := cmdBuild([]string{"-workload", "Sieve", "-kind", "optimized", "-strategy", "cu"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRun(t *testing.T) {
+	if err := cmdRun([]string{"-workload", "Sieve", "-iters", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-workload", "Sieve", "-strategy", "heap path", "-iters", "1", "-device", "nfs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdProfileWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "prof.csv")
+	trace := filepath.Join(dir, "trace.bin")
+	if err := cmdProfile([]string{"-workload", "Sieve", "-strategy", "heap path", "-out", csv, "-trace", trace}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{csv, trace} {
+		st, err := os.Stat(f)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty: %v", f, err)
+		}
+	}
+	if err := cmdProfile([]string{"-workload", "Sieve", "-strategy", "bogus"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestCmdVizSections(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdViz([]string{"-workload", "Sieve", "-ppm", filepath.Join(dir, "grid")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "grid-regular.ppm")); err != nil {
+		t.Error("regular PPM missing")
+	}
+	if err := cmdViz([]string{"-workload", "Sieve", "-section", "heap"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdViz([]string{"-workload", "Sieve", "-section", "bogus"}); err == nil {
+		t.Fatal("unknown section accepted")
+	}
+}
+
+func TestCmdExportExecRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "sieve.nimg")
+	if err := cmdExport([]string{"-workload", "Sieve", "-strategy", "cu", "-o", img}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExec([]string{"-image", img, "-iters", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExec(nil); err == nil || !strings.Contains(err.Error(), "-image is required") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := cmdExec([]string{"-image", filepath.Join(dir, "missing.nimg")}); err == nil {
+		t.Fatal("missing image accepted")
+	}
+}

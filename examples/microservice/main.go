@@ -1,0 +1,70 @@
+// Microservice startup: measure the elapsed time until the first HTTP
+// response for the three framework workloads of the paper (micronaut,
+// quarkus, spring helloworld), comparing the regular binary against every
+// ordering strategy (Sec. 7.1: the harness starts the service, waits for
+// the first response, and kills it — so instrumented runs use the
+// memory-mapped trace-buffer mode to survive the SIGKILL).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nimage"
+)
+
+func coldResponse(img *nimage.Image, w nimage.Workload) (time.Duration, int64) {
+	o := nimage.NewOS(nimage.SSD())
+	proc, err := img.NewProcess(o, nimage.Hooks{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proc.Close()
+	proc.Machine.StopOnRespond = true // harness kills the service after the first response
+	if err := proc.Run(w.Args...); err != nil {
+		log.Fatal(err)
+	}
+	st := proc.Stats()
+	return st.TimeToResponse, st.TextFaults.Total() + st.HeapFaults.Total()
+}
+
+func main() {
+	for _, w := range nimage.Microservices() {
+		prog := w.Build()
+		fmt.Printf("%s helloworld: %d classes, %d methods\n", w.Name, len(prog.Classes), prog.NumMethods())
+
+		regular, err := nimage.BuildImage(prog, nimage.BuildOptions{
+			Kind: nimage.KindRegular, Compiler: nimage.DefaultCompilerConfig(), BuildSeed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseT, baseF := coldResponse(regular, w)
+		fmt.Printf("  %-16s first response in %10v  (%3d section faults)\n", "regular", baseT, baseF)
+
+		for _, strategy := range nimage.Strategies() {
+			// Service workloads are killed right after the first response
+			// (Sec. 7.1), so their profiling runs MUST use the
+			// memory-mapped buffer mode — with DumpOnFull, the SIGKILL
+			// would discard the unflushed buffers and the profiles would
+			// come out empty (Sec. 6.1).
+			res, err := nimage.ProfileAndOptimize(prog, nimage.PipelineOptions{
+				Compiler:         nimage.DefaultCompilerConfig(),
+				Strategy:         strategy,
+				InstrumentedSeed: 23,
+				OptimizedSeed:    5,
+				Mode:             nimage.MemoryMapped,
+				Args:             w.Args,
+				Service:          true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t, f := coldResponse(res.Optimized, w)
+			fmt.Printf("  %-16s first response in %10v  (%3d section faults)  %.2fx\n",
+				strategy, t, f, float64(baseT)/float64(t))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module nimage
+
+go 1.22

@@ -1,0 +1,69 @@
+package core
+
+import "nimage/internal/heap"
+
+// MatchResult is the outcome of applying a heap-ordering profile to the
+// optimized build's snapshot.
+type MatchResult struct {
+	// Order is the new object layout: matched objects first in profile
+	// order, then the unmatched remainder in default (encounter) order.
+	Order []*heap.Object
+	// MatchedEntries counts profile IDs that matched at least one object.
+	MatchedEntries int
+	// MatchedObjects counts objects moved to the front.
+	MatchedObjects int
+	// ProfileLen is the number of profile entries consumed.
+	ProfileLen int
+}
+
+// MatchRate returns the fraction of profile entries that matched.
+func (r MatchResult) MatchRate() float64 {
+	if r.ProfileLen == 0 {
+		return 0
+	}
+	return float64(r.MatchedEntries) / float64(r.ProfileLen)
+}
+
+// OrderObjects matches the object-access profile (deduplicated 64-bit IDs
+// in first-access order, from the instrumented build) against the objects
+// of this build, identified by ids (computed by the same strategy on this
+// build's snapshot), and produces the optimized layout.
+//
+// Because object identities are not persistent across builds (Sec. 5), the
+// match is best-effort: profile IDs with no counterpart here are skipped,
+// and when several objects share an ID (hash collisions, or per-type
+// counters that happen to coincide) all of them are pulled forward in their
+// default relative order — they are indistinguishable to the strategy.
+func OrderObjects(objs []*heap.Object, ids map[*heap.Object]uint64, profile []uint64) MatchResult {
+	res := MatchResult{ProfileLen: len(profile)}
+	byID := make(map[uint64][]*heap.Object, len(objs))
+	for _, o := range objs {
+		id := ids[o]
+		byID[id] = append(byID[id], o)
+	}
+	placed := make(map[*heap.Object]bool, len(objs))
+	order := make([]*heap.Object, 0, len(objs))
+	for _, id := range profile {
+		group := byID[id]
+		if len(group) == 0 {
+			continue
+		}
+		res.MatchedEntries++
+		for _, o := range group {
+			if placed[o] {
+				continue
+			}
+			placed[o] = true
+			order = append(order, o)
+			res.MatchedObjects++
+		}
+		delete(byID, id)
+	}
+	for _, o := range objs {
+		if !placed[o] {
+			order = append(order, o)
+		}
+	}
+	res.Order = order
+	return res
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sort"
+
+	"nimage/internal/graal"
+	"nimage/internal/ir"
+	"nimage/internal/vm"
+)
+
+// This file implements the Pettis–Hansen function-ordering baseline [44]
+// (discussed in the paper's related work, Sec. 8): functions are laid out
+// by greedily coalescing the hottest edges of a weighted dynamic call
+// graph. PH optimizes steady-state cache locality of long-running
+// programs; the paper argues such orderings are not designed for startup —
+// this implementation lets the evaluation quantify that claim (see
+// BenchmarkBaselinePettisHansen).
+
+// CallGraph is a weighted dynamic call graph: edge weights count the
+// invocations between caller and callee CUs.
+type CallGraph struct {
+	// Weights maps (caller root, callee root) to invocation counts. The
+	// graph is undirected in PH: edges are canonicalized by signature
+	// order.
+	Weights map[[2]*ir.Method]int64
+	// Hotness counts entries per CU root (used to break ties).
+	Hotness map[*ir.Method]int64
+}
+
+// NewCallGraph creates an empty call graph.
+func NewCallGraph() *CallGraph {
+	return &CallGraph{
+		Weights: make(map[[2]*ir.Method]int64),
+		Hotness: make(map[*ir.Method]int64),
+	}
+}
+
+// AddCall records one invocation from the CU rooted at caller to the CU
+// rooted at callee.
+func (g *CallGraph) AddCall(caller, callee *ir.Method) {
+	g.Hotness[callee]++
+	if caller == nil || caller == callee {
+		return
+	}
+	a, b := caller, callee
+	if a.Signature() > b.Signature() {
+		a, b = b, a
+	}
+	g.Weights[[2]*ir.Method{a, b}]++
+}
+
+// Collector returns vm hooks that populate the graph during a profiling
+// run: it maintains a shadow stack of CU contexts per thread, so every
+// non-inlined call contributes one edge. The paper's own profiles are
+// execution-*order* traces; PH needs execution-*frequency* edges instead,
+// which is why it requires its own profiling pass.
+func (g *CallGraph) Collector() vm.Hooks {
+	stacks := make(map[int][]*ir.Method)
+	return vm.Hooks{
+		OnEnterCU: func(tid int, root *ir.Method) {
+			st := stacks[tid]
+			var caller *ir.Method
+			if len(st) > 0 {
+				caller = st[len(st)-1]
+			}
+			g.AddCall(caller, root)
+			stacks[tid] = append(st, root)
+		},
+		OnMethodExit: func(tid int, m *ir.Method) {
+			st := stacks[tid]
+			// Pop only when the returning method is the CU on top (inlined
+			// methods return without leaving the CU).
+			if len(st) > 0 && st[len(st)-1] == m {
+				stacks[tid] = st[:len(st)-1]
+			}
+		},
+	}
+}
+
+// phChain is a chain of CUs being coalesced.
+type phChain struct {
+	methods []*ir.Method
+}
+
+// PettisHansenOrder computes a CU layout by greedy edge coalescing: sort
+// edges by descending weight; for each edge, merge the chains containing
+// its endpoints (joining at the nearer ends), like the original PH
+// procedure-positioning algorithm. CUs never reached by the profile keep
+// their default order at the end.
+func PettisHansenOrder(cus []*graal.CompilationUnit, g *CallGraph) []*graal.CompilationUnit {
+	chainOf := make(map[*ir.Method]*phChain)
+	addNode := func(m *ir.Method) {
+		if chainOf[m] == nil {
+			chainOf[m] = &phChain{methods: []*ir.Method{m}}
+		}
+	}
+	for root := range g.Hotness {
+		addNode(root)
+	}
+	for k := range g.Weights {
+		addNode(k[0])
+		addNode(k[1])
+	}
+
+	type edge struct {
+		a, b *ir.Method
+		w    int64
+	}
+	edges := make([]edge, 0, len(g.Weights))
+	for k, w := range g.Weights {
+		edges = append(edges, edge{a: k[0], b: k[1], w: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		// Deterministic tie-break.
+		if edges[i].a.Signature() != edges[j].a.Signature() {
+			return edges[i].a.Signature() < edges[j].a.Signature()
+		}
+		return edges[i].b.Signature() < edges[j].b.Signature()
+	})
+
+	for _, e := range edges {
+		ca, cb := chainOf[e.a], chainOf[e.b]
+		if ca == nil || cb == nil || ca == cb {
+			continue
+		}
+		// Join so that the edge endpoints end up adjacent where possible:
+		// flip chains to bring a to ca's tail and b to cb's head.
+		if ca.methods[len(ca.methods)-1] != e.a && ca.methods[0] == e.a {
+			reverse(ca.methods)
+		}
+		if cb.methods[0] != e.b && cb.methods[len(cb.methods)-1] == e.b {
+			reverse(cb.methods)
+		}
+		ca.methods = append(ca.methods, cb.methods...)
+		for _, m := range cb.methods {
+			chainOf[m] = ca
+		}
+	}
+
+	// Emit chains by total hotness (hottest chain first), then the
+	// remaining CUs in default order.
+	seenChain := make(map[*phChain]bool)
+	var chains []*phChain
+	for _, c := range chainOf {
+		if !seenChain[c] {
+			seenChain[c] = true
+			chains = append(chains, c)
+		}
+	}
+	heat := func(c *phChain) int64 {
+		var h int64
+		for _, m := range c.methods {
+			h += g.Hotness[m]
+		}
+		return h
+	}
+	sort.Slice(chains, func(i, j int) bool {
+		hi, hj := heat(chains[i]), heat(chains[j])
+		if hi != hj {
+			return hi > hj
+		}
+		return chains[i].methods[0].Signature() < chains[j].methods[0].Signature()
+	})
+
+	bySig := make(map[*ir.Method]*graal.CompilationUnit, len(cus))
+	for _, cu := range cus {
+		bySig[cu.Root] = cu
+	}
+	placed := make(map[*graal.CompilationUnit]bool, len(cus))
+	order := make([]*graal.CompilationUnit, 0, len(cus))
+	for _, c := range chains {
+		for _, m := range c.methods {
+			if cu := bySig[m]; cu != nil && !placed[cu] {
+				placed[cu] = true
+				order = append(order, cu)
+			}
+		}
+	}
+	for _, cu := range cus {
+		if !placed[cu] {
+			order = append(order, cu)
+		}
+	}
+	return order
+}
+
+func reverse(s []*ir.Method) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,260 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nimage/internal/core"
+	"nimage/internal/osim"
+	"nimage/internal/workloads"
+)
+
+func TestStatsFunctions(t *testing.T) {
+	xs := []float64{2, 4, 8}
+	if got := Mean(xs); got != 14.0/3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean(xs); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 || StdDev([]float64{1}) != 0 || CI95([]float64{1}) != 0 {
+		t.Error("empty/singleton edge cases")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean with nonpositive input")
+	}
+	sd := StdDev([]float64{1, 3})
+	if math.Abs(sd-math.Sqrt2) > 1e-9 {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if RatioCI(0, 1, 1, 1) != 0 {
+		t.Error("RatioCI zero numerator")
+	}
+	ci := RatioCI(10, 1, 5, 0.5)
+	if ci <= 0 {
+		t.Errorf("RatioCI = %v", ci)
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tbl := &Table{
+		Title:      "t",
+		Metric:     "m",
+		Strategies: []string{"a", "b"},
+		Cells: []Cell{
+			{Workload: "w2", Strategy: "b", Factor: 2},
+			{Workload: "w1", Strategy: "a", Factor: 4},
+			{Workload: "w1", Strategy: "b", Factor: 1},
+			{Workload: "w2", Strategy: "a", Factor: 1},
+		},
+	}
+	tbl.AddGeoMean()
+	tbl.SortCells()
+	if got := tbl.Get(GeoMeanRow, "a").Factor; math.Abs(got-2) > 1e-9 {
+		t.Errorf("geomean a = %v", got)
+	}
+	ws := tbl.Workloads()
+	if len(ws) != 2 || ws[0] != "w1" || ws[1] != "w2" {
+		t.Errorf("Workloads = %v", ws)
+	}
+	// Sorted: w1 rows first, geomean last.
+	if tbl.Cells[0].Workload != "w1" || tbl.Cells[len(tbl.Cells)-1].Workload != GeoMeanRow {
+		t.Error("SortCells order")
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "workload,strategy,factor") || !strings.Contains(csv, "w1,a,4.0000") {
+		t.Errorf("CSV:\n%s", csv)
+	}
+	render := tbl.Render()
+	for _, want := range []string{"t (m", "w1", "geomean", "#"} {
+		if !strings.Contains(render, want) {
+			t.Errorf("Render missing %q:\n%s", want, render)
+		}
+	}
+	if tbl.Get("nope", "a") != nil {
+		t.Error("Get of missing cell")
+	}
+}
+
+// smallConfig keeps harness tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 2
+	return cfg
+}
+
+func TestHarnessBaselineDeterministicIterations(t *testing.T) {
+	h := NewHarness(smallConfig())
+	w, err := workloads.ByName("Sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := h.MeasureBaseline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("measures = %d", len(ms))
+	}
+	if ms[0] != ms[1] {
+		t.Errorf("iterations of the same build differ: %+v vs %+v", ms[0], ms[1])
+	}
+	if ms[0].TextFaults == 0 || ms[0].HeapFaults == 0 || ms[0].Time <= 0 {
+		t.Errorf("implausible measurement: %+v", ms[0])
+	}
+	if ms[0].AccessedFrac <= 0 || ms[0].AccessedFrac > 0.5 {
+		t.Errorf("accessed fraction = %v", ms[0].AccessedFrac)
+	}
+}
+
+func TestHarnessMemoization(t *testing.T) {
+	h := NewHarness(smallConfig())
+	w, err := workloads.ByName("Sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.MeasureBaseline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.MeasureBaseline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("baseline not memoized")
+	}
+	s1, err := h.MeasureStrategy(w, core.StrategyCU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := h.MeasureStrategy(w, core.StrategyCU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("strategy outcome not memoized")
+	}
+}
+
+func TestHarnessStrategyImprovesSieve(t *testing.T) {
+	h := NewHarness(smallConfig())
+	w, err := workloads.ByName("Sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := h.MeasureBaseline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := h.MeasureStrategy(w, core.StrategyCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs, os []float64
+	for _, m := range base {
+		bs = append(bs, metricOf(core.StrategyCombined, m))
+	}
+	for _, m := range opt.Measures {
+		os = append(os, metricOf(core.StrategyCombined, m))
+	}
+	c := FactorCell(w.Name, core.StrategyCombined, bs, os)
+	if c.Factor <= 1.1 {
+		t.Errorf("combined factor = %v, want > 1.1", c.Factor)
+	}
+	if opt.CodeMatched == 0 || opt.HeapMatched == 0 {
+		t.Errorf("matching stats: code=%d heap=%d", opt.CodeMatched, opt.HeapMatched)
+	}
+	if len(opt.Profiling) == 0 || opt.Profiling[0].Time <= 0 {
+		t.Errorf("profiling runs missing: %+v", opt.Profiling)
+	}
+}
+
+func TestHarnessServiceWorkload(t *testing.T) {
+	h := NewHarness(smallConfig())
+	w, err := workloads.ByName("quarkus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := h.MeasureBaseline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base[0].Time <= 0 {
+		t.Error("no time-to-first-response")
+	}
+	opt, err := h.MeasureStrategy(w, core.StrategyCU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Measures) == 0 {
+		t.Fatal("no optimized measures")
+	}
+	// Services profile with memory-mapped buffers; traces must survive.
+	if opt.Profiling[0].TraceWords == 0 {
+		t.Error("service trace lost despite memory-mapped mode")
+	}
+}
+
+func TestMetricOfSelection(t *testing.T) {
+	m := RunMeasure{TextFaults: 10, HeapFaults: 4}
+	if metricOf(core.StrategyCU, m) != 10 || metricOf(core.StrategyMethod, m) != 10 {
+		t.Error("code strategies must use text faults")
+	}
+	if metricOf(core.StrategyHeapPath, m) != 4 || metricOf(core.StrategyIncremental, m) != 4 {
+		t.Error("heap strategies must use heap faults")
+	}
+	if metricOf(core.StrategyCombined, m) != 14 {
+		t.Error("combined must use the sum")
+	}
+}
+
+func TestFigure6States(t *testing.T) {
+	h := NewHarness(smallConfig())
+	regular, optimized, err := h.Figure6("Bounce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regular) == 0 || len(regular) != len(optimized) {
+		t.Fatalf("grids: %d vs %d", len(regular), len(optimized))
+	}
+	faults := func(states []osim.PageState) int {
+		n := 0
+		for _, s := range states {
+			if s == osim.PageFaulted {
+				n++
+			}
+		}
+		return n
+	}
+	// The optimized layout must fault strictly fewer .text pages.
+	if fo, fr := faults(optimized), faults(regular); fo >= fr {
+		t.Errorf("cu layout faults %d >= regular %d", fo, fr)
+	}
+}
+
+func TestCompilerInfo(t *testing.T) {
+	h := NewHarness(smallConfig())
+	w, _ := workloads.ByName("Sieve")
+	info, err := h.CompilerInfo([]workloads.Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "Sieve") || !strings.Contains(info, "workload") {
+		t.Errorf("info:\n%s", info)
+	}
+}
+
+func TestAccessedFraction(t *testing.T) {
+	h := NewHarness(smallConfig())
+	w, _ := workloads.ByName("Towers")
+	fr, err := h.AccessedFraction([]workloads.Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := fr["Towers"]; f <= 0.01 || f > 0.5 {
+		t.Errorf("accessed fraction = %v", f)
+	}
+}

@@ -1,0 +1,249 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"nimage/internal/core"
+	"nimage/internal/image"
+	"nimage/internal/osim"
+	"nimage/internal/profiler"
+	"nimage/internal/vm"
+	"nimage/internal/workloads"
+)
+
+// pageFaultTable measures the page-fault reduction of every strategy on a
+// workload set (Figures 2 and 3).
+func (h *Harness) pageFaultTable(title string, ws []workloads.Workload) (*Table, error) {
+	t := &Table{Title: title, Metric: "page-fault reduction", Strategies: Strategies()}
+	for _, w := range ws {
+		base, err := h.MeasureBaseline(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range Strategies() {
+			opt, err := h.MeasureStrategy(w, s)
+			if err != nil {
+				return nil, err
+			}
+			var bs, os []float64
+			for _, m := range base {
+				bs = append(bs, metricOf(s, m))
+			}
+			for _, m := range opt.Measures {
+				os = append(os, metricOf(s, m))
+			}
+			t.Cells = append(t.Cells, FactorCell(w.Name, s, bs, os))
+		}
+	}
+	t.AddGeoMean()
+	t.SortCells()
+	return t, nil
+}
+
+// speedupTable measures the execution-time speedup of every strategy
+// (Figures 4 and 5).
+func (h *Harness) speedupTable(title string, ws []workloads.Workload) (*Table, error) {
+	t := &Table{Title: title, Metric: "execution-time speedup", Strategies: Strategies()}
+	for _, w := range ws {
+		base, err := h.MeasureBaseline(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range Strategies() {
+			opt, err := h.MeasureStrategy(w, s)
+			if err != nil {
+				return nil, err
+			}
+			var bs, os []float64
+			for _, m := range base {
+				bs = append(bs, m.Time)
+			}
+			for _, m := range opt.Measures {
+				os = append(os, m.Time)
+			}
+			t.Cells = append(t.Cells, FactorCell(w.Name, s, bs, os))
+		}
+	}
+	t.AddGeoMean()
+	t.SortCells()
+	return t, nil
+}
+
+// Figure2 reproduces the AWFY page-fault reductions.
+func (h *Harness) Figure2() (*Table, error) {
+	return h.pageFaultTable("Figure 2: page-fault reduction on AWFY", workloads.AWFY())
+}
+
+// Figure3 reproduces the microservice page-fault reductions.
+func (h *Harness) Figure3() (*Table, error) {
+	return h.pageFaultTable("Figure 3: page-fault reduction on microservices", workloads.Microservices())
+}
+
+// Figure4 reproduces the microservice execution-time speedups.
+func (h *Harness) Figure4() (*Table, error) {
+	return h.speedupTable("Figure 4: execution-time speedup on microservices", workloads.Microservices())
+}
+
+// Figure5 reproduces the AWFY execution-time speedups.
+func (h *Harness) Figure5() (*Table, error) {
+	return h.speedupTable("Figure 5: execution-time speedup on AWFY", workloads.AWFY())
+}
+
+// OverheadGroup names the three instrumentation kinds of the overhead
+// table (Sec. 7.4 reports one factor for all heap strategies because their
+// emitted instrumentation is identical).
+var OverheadGroups = []string{"cu", "method", "heap"}
+
+// Overhead measures the profiling overhead (Sec. 7.4): instrumented run
+// time divided by regular run time, per instrumentation kind.
+func (h *Harness) Overhead(ws []workloads.Workload) (*Table, error) {
+	t := &Table{Title: "Profiling overhead (Sec. 7.4)", Metric: "instrumented/regular compute time (lower is better)", Strategies: OverheadGroups}
+	groupStrategy := map[string]string{
+		"cu":     core.StrategyCU,
+		"method": core.StrategyMethod,
+		"heap":   core.StrategyHeapPath,
+	}
+	for _, w := range ws {
+		base, err := h.MeasureBaseline(w)
+		if err != nil {
+			return nil, err
+		}
+		var bt []float64
+		for _, m := range base {
+			bt = append(bt, m.CPUSeconds)
+		}
+		for _, g := range OverheadGroups {
+			opt, err := h.MeasureStrategy(w, groupStrategy[g])
+			if err != nil {
+				return nil, err
+			}
+			var pt []float64
+			for _, r := range opt.Profiling {
+				pt = append(pt, r.CPUTime.Seconds())
+			}
+			pm, bm := Mean(pt), Mean(bt)
+			c := Cell{Workload: w.Name, Strategy: g, BaselineMean: bm, OptimizedMean: pm}
+			if bm > 0 {
+				c.Factor = pm / bm
+				c.CI = RatioCI(pm, CI95(pt), bm, CI95(bt))
+			}
+			t.Cells = append(t.Cells, c)
+		}
+	}
+	// Overhead averages are arithmetic in the paper's prose; keep geomean
+	// for consistency of the summary row.
+	t.AddGeoMean()
+	t.SortCells()
+	return t, nil
+}
+
+// AccessedFraction measures the fraction of snapshot objects a workload
+// accesses (the paper reports ~4% on AWFY, Sec. 7.2).
+func (h *Harness) AccessedFraction(ws []workloads.Workload) (map[string]float64, error) {
+	out := make(map[string]float64, len(ws))
+	for _, w := range ws {
+		ms, err := h.MeasureBaseline(w)
+		if err != nil {
+			return nil, err
+		}
+		var fs []float64
+		for _, m := range ms {
+			fs = append(fs, m.AccessedFrac)
+		}
+		out[w.Name] = Mean(fs)
+	}
+	return out, nil
+}
+
+// Figure6 produces the page-state grids of the .text section for the
+// given workload (default: Bounce) under the regular binary and the
+// cu-ordered binary — the data behind the Fig. 6 visualization.
+func (h *Harness) Figure6(workloadName string) (regular, optimized []osim.PageState, err error) {
+	return h.pageStates(workloadName, image.SectionText, core.StrategyCU)
+}
+
+// Figure6Heap is the heap-snapshot analogue of Fig. 6 — the visualization
+// the paper lists as future work (Appendix A): page states of .svm_heap
+// under the regular binary and the heap-path-ordered binary.
+func (h *Harness) Figure6Heap(workloadName string) (regular, optimized []osim.PageState, err error) {
+	return h.pageStates(workloadName, image.SectionHeap, core.StrategyHeapPath)
+}
+
+// pageStates runs the workload over a regular and a strategy-optimized
+// image and returns the page-state grids of one section.
+func (h *Harness) pageStates(workloadName, section, strategy string) (regular, optimized []osim.PageState, err error) {
+	w, err := workloads.ByName(workloadName)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := h.Program(w)
+
+	states := func(img *image.Image) ([]osim.PageState, error) {
+		o := h.newOS()
+		proc, err := img.NewProcess(o, vm.Hooks{})
+		if err != nil {
+			return nil, err
+		}
+		defer proc.Close()
+		proc.Machine.StopOnRespond = w.Service
+		if err := proc.Run(w.Args...); err != nil {
+			return nil, err
+		}
+		return proc.Mapping.PageStates(section), nil
+	}
+
+	reg, err := image.Build(p, image.Options{
+		Kind: image.KindRegular, Compiler: h.Cfg.Compiler, BuildSeed: baselineSeed(0),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	regular, err = states(reg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	mode := profiler.DumpOnFull
+	if w.Service {
+		mode = profiler.MemoryMapped
+	}
+	res, err := image.BuildOptimized(p, image.PipelineOptions{
+		Compiler:         h.Cfg.Compiler,
+		Strategy:         strategy,
+		InstrumentedSeed: instrumentedSeed(0),
+		OptimizedSeed:    optimizedSeed(0),
+		Mode:             mode,
+		Args:             w.Args,
+		Service:          w.Service,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	optimized, err = states(res.Optimized)
+	if err != nil {
+		return nil, nil, err
+	}
+	return regular, optimized, nil
+}
+
+// CompilerInfo summarizes the compiled world of every workload (classes,
+// methods, CUs, snapshot objects and bytes) — useful context for reports.
+func (h *Harness) CompilerInfo(ws []workloads.Workload) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %8s %8s %10s %12s %12s\n",
+		"workload", "classes", "methods", "CUs", "objects", "text(B)", "heap(B)")
+	for _, w := range ws {
+		p := h.Program(w)
+		img, err := image.Build(p, image.Options{
+			Kind: image.KindRegular, Compiler: h.Cfg.Compiler, BuildSeed: baselineSeed(0),
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%-12s %8d %8d %8d %10d %12d %12d\n",
+			w.Name, len(p.Classes), p.NumMethods(), len(img.CULayout),
+			len(img.Snapshot.Objects), img.TextSize(), img.HeapSize())
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,274 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"nimage/internal/core"
+	"nimage/internal/graal"
+	"nimage/internal/image"
+	"nimage/internal/ir"
+	"nimage/internal/osim"
+	"nimage/internal/profiler"
+	"nimage/internal/vm"
+	"nimage/internal/workloads"
+)
+
+// Config tunes the evaluation protocol (Sec. 7.1). The paper uses 10
+// builds × 10 iterations; the defaults are smaller for tractable runtimes
+// but follow the same protocol.
+type Config struct {
+	// Builds is the number of images per strategy (different build seeds).
+	Builds int
+	// Iterations is the number of runs per image; caches are dropped
+	// between iterations.
+	Iterations int
+	// Device is the storage backing the binaries (SSD by default).
+	Device osim.Device
+	// FaultAround is the OS fault-around cluster size in pages.
+	FaultAround int
+	// AdaptiveReadahead enables Linux-style readahead escalation (rewards
+	// layouts whose access order matches their layout order).
+	AdaptiveReadahead bool
+	// Compiler is the compiler configuration shared by all builds.
+	Compiler graal.Config
+}
+
+// DefaultConfig returns the evaluation defaults.
+func DefaultConfig() Config {
+	return Config{
+		Builds:      3,
+		Iterations:  3,
+		Device:      osim.SSD(),
+		FaultAround: osim.DefaultFaultAround,
+		Compiler:    graal.DefaultConfig(),
+	}
+}
+
+// Strategies lists the evaluated strategies in figure order.
+func Strategies() []string {
+	return []string{
+		core.StrategyCU,
+		core.StrategyMethod,
+		core.StrategyIncremental,
+		core.StrategyStructural,
+		core.StrategyHeapPath,
+		core.StrategyCombined,
+	}
+}
+
+// RunMeasure is one benchmark iteration's measurements.
+type RunMeasure struct {
+	TextFaults float64
+	HeapFaults float64
+	// Time is the end-to-end execution time for AWFY workloads, or the
+	// elapsed time until the first response for microservices (seconds).
+	Time float64
+	// CPUSeconds is the compute share of Time (no fault I/O); the
+	// profiling-overhead table compares compute times, since cold-start
+	// I/O would mask the tracing cost (Sec. 7.4 measures steady
+	// instrumented executions).
+	CPUSeconds float64
+	// AccessedFrac is the fraction of snapshot objects accessed.
+	AccessedFrac float64
+}
+
+// Harness caches built programs and memoizes measurements, so figures
+// sharing the same underlying runs (e.g. Figures 2 and 5 on AWFY) measure
+// each workload/strategy pair once.
+type Harness struct {
+	Cfg Config
+
+	mu         sync.Mutex
+	progs      map[string]*ir.Program
+	baseCache  map[string][]RunMeasure
+	stratCache map[string]*StrategyOutcome
+}
+
+// NewHarness creates a harness.
+func NewHarness(cfg Config) *Harness {
+	return &Harness{
+		Cfg:        cfg,
+		progs:      make(map[string]*ir.Program),
+		baseCache:  make(map[string][]RunMeasure),
+		stratCache: make(map[string]*StrategyOutcome),
+	}
+}
+
+// Program returns the (cached) program of a workload.
+func (h *Harness) Program(w workloads.Workload) *ir.Program {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.progs[w.Name]
+	if !ok {
+		p = w.Build()
+		h.progs[w.Name] = p
+	}
+	return p
+}
+
+func (h *Harness) newOS() *osim.OS {
+	o := osim.NewOS(h.Cfg.Device)
+	o.FaultAround = h.Cfg.FaultAround
+	o.AdaptiveReadahead = h.Cfg.AdaptiveReadahead
+	return o
+}
+
+// measureImage runs one image for the configured iterations (cold cache
+// each time) and returns the per-iteration measurements.
+func (h *Harness) measureImage(img *image.Image, w workloads.Workload) ([]RunMeasure, error) {
+	o := h.newOS()
+	out := make([]RunMeasure, 0, h.Cfg.Iterations)
+	for it := 0; it < h.Cfg.Iterations; it++ {
+		o.DropCaches()
+		proc, err := img.NewProcess(o, vm.Hooks{})
+		if err != nil {
+			return nil, err
+		}
+		proc.Machine.StopOnRespond = w.Service
+		if err := proc.Run(w.Args...); err != nil {
+			proc.Close()
+			return nil, fmt.Errorf("eval: running %s: %w", w.Name, err)
+		}
+		st := proc.Stats()
+		m := RunMeasure{
+			TextFaults:   float64(st.TextFaults.Total()),
+			HeapFaults:   float64(st.HeapFaults.Total()),
+			CPUSeconds:   st.CPUTime.Seconds(),
+			AccessedFrac: float64(st.AccessedObjects) / float64(st.SnapshotObjects),
+		}
+		if w.Service {
+			if st.TimeToResponse <= 0 {
+				proc.Close()
+				return nil, fmt.Errorf("eval: %s never responded", w.Name)
+			}
+			m.Time = st.TimeToResponse.Seconds()
+		} else {
+			m.Time = st.Total.Seconds()
+		}
+		out = append(out, m)
+		proc.Close()
+	}
+	return out, nil
+}
+
+// baselineSeed and friends derive deterministic build seeds.
+func baselineSeed(build int) uint64     { return 0x5eed0000 + uint64(build) }
+func instrumentedSeed(build int) uint64 { return 0x1457a000 + uint64(build)*31 }
+func optimizedSeed(build int) uint64    { return 0x0b715000 + uint64(build)*17 }
+
+// MeasureBaseline builds and measures the unmodified images of a workload.
+// Results are memoized per workload.
+func (h *Harness) MeasureBaseline(w workloads.Workload) ([]RunMeasure, error) {
+	h.mu.Lock()
+	if ms, ok := h.baseCache[w.Name]; ok {
+		h.mu.Unlock()
+		return ms, nil
+	}
+	h.mu.Unlock()
+	p := h.Program(w)
+	var out []RunMeasure
+	for bld := 0; bld < h.Cfg.Builds; bld++ {
+		img, err := image.Build(p, image.Options{
+			Kind:      image.KindRegular,
+			Compiler:  h.Cfg.Compiler,
+			BuildSeed: baselineSeed(bld),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: baseline build of %s: %w", w.Name, err)
+		}
+		ms, err := h.measureImage(img, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	h.mu.Lock()
+	h.baseCache[w.Name] = out
+	h.mu.Unlock()
+	return out, nil
+}
+
+// StrategyOutcome is the measurement of one strategy on one workload.
+type StrategyOutcome struct {
+	Measures []RunMeasure
+	// Profiling lists the instrumented runs (for the overhead table).
+	Profiling []image.ProfilingRun
+	// CodeMatched / HeapMatched report profile-application quality of the
+	// last build.
+	CodeMatched int
+	HeapMatched int
+}
+
+// MeasureStrategy runs the full pipeline for one strategy on one workload.
+// Results are memoized per (workload, strategy).
+func (h *Harness) MeasureStrategy(w workloads.Workload, strategy string) (*StrategyOutcome, error) {
+	key := w.Name + "\x00" + strategy
+	h.mu.Lock()
+	if o, ok := h.stratCache[key]; ok {
+		h.mu.Unlock()
+		return o, nil
+	}
+	h.mu.Unlock()
+	p := h.Program(w)
+	mode := profiler.DumpOnFull
+	if w.Service {
+		// Killed workloads need durable buffers (Sec. 6.1).
+		mode = profiler.MemoryMapped
+	}
+	out := &StrategyOutcome{}
+	for bld := 0; bld < h.Cfg.Builds; bld++ {
+		res, err := image.BuildOptimized(p, image.PipelineOptions{
+			Compiler:         h.Cfg.Compiler,
+			Strategy:         strategy,
+			InstrumentedSeed: instrumentedSeed(bld),
+			OptimizedSeed:    optimizedSeed(bld),
+			Mode:             mode,
+			Args:             w.Args,
+			Service:          w.Service,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s/%s: %w", w.Name, strategy, err)
+		}
+		ms, err := h.measureImage(res.Optimized, w)
+		if err != nil {
+			return nil, err
+		}
+		out.Measures = append(out.Measures, ms...)
+		out.Profiling = append(out.Profiling, res.Runs...)
+		out.CodeMatched = res.Optimized.CodeOrderStats.Matched
+		out.HeapMatched = res.Optimized.HeapMatchStats.MatchedObjects
+	}
+	h.mu.Lock()
+	h.stratCache[key] = out
+	h.mu.Unlock()
+	return out, nil
+}
+
+// metricOf selects the figure metric of a strategy: text faults for code
+// strategies, heap faults for heap strategies, their sum for the combined
+// strategy, per Sec. 7.1.
+func metricOf(strategy string, m RunMeasure) float64 {
+	switch strategy {
+	case core.StrategyCU, core.StrategyMethod:
+		return m.TextFaults
+	case core.StrategyCombined:
+		return m.TextFaults + m.HeapFaults
+	default:
+		return m.HeapFaults
+	}
+}
+
+// FactorCell computes the baseline/optimized factor cell for one metric.
+func FactorCell(workload, strategy string, baseline, optimized []float64) Cell {
+	bm, om := Mean(baseline), Mean(optimized)
+	c := Cell{
+		Workload: workload, Strategy: strategy,
+		BaselineMean: bm, OptimizedMean: om,
+	}
+	if om > 0 {
+		c.Factor = bm / om
+		c.CI = RatioCI(bm, CI95(baseline), om, CI95(optimized))
+	}
+	return c
+}

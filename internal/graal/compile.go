@@ -1,0 +1,157 @@
+package graal
+
+import (
+	"sort"
+	"strings"
+
+	"nimage/internal/ir"
+	"nimage/internal/murmur"
+)
+
+// Compilation is the output of compiling a program: the reachable world and
+// its compilation units in default (alphabetical) order.
+type Compilation struct {
+	Program *ir.Program
+	Config  Config
+	Instr   Instrumentation
+	// PGO marks profile-guided (optimized) builds, which inline more
+	// aggressively than regular/instrumented builds.
+	PGO   bool
+	Reach *Reachability
+	// CUs in default Native-Image order: alphabetical by root signature.
+	CUs []*CompilationUnit
+	// CUBySig indexes CUs by root signature.
+	CUBySig map[string]*CompilationUnit
+}
+
+// Compile runs reachability analysis, forms compilation units, collects CU
+// code constants (with optimization-dependent folding), and runs partial
+// escape analysis.
+func Compile(p *ir.Program, cfg Config, instr Instrumentation, pgo bool) *Compilation {
+	c := &Compilation{
+		Program: p,
+		Config:  cfg,
+		Instr:   instr,
+		PGO:     pgo,
+		Reach:   Analyze(p, cfg),
+	}
+	c.CUs = BuildCUs(c.Reach, cfg, instr, pgo)
+	c.CUBySig = make(map[string]*CompilationUnit, len(c.CUs))
+	for _, cu := range c.CUs {
+		c.CUBySig[cu.Signature()] = cu
+		collectConstants(cu, cfg)
+		cu.ScalarReplaced = peaCount(cu)
+	}
+	return c
+}
+
+// TextSize returns the summed CU sizes (the .text payload).
+func (c *Compilation) TextSize() int {
+	s := 0
+	for _, cu := range c.CUs {
+		s += cu.Size
+	}
+	return s
+}
+
+// collectConstants gathers the distinct string literals compiled into the
+// CU (from the root and all inlinees, in code order) and decides which of
+// them optimization folds away. The folding decision is a deterministic
+// function of the CU *composition* and the literal, so two builds fold the
+// same constant differently when their inlining differs — reproducing the
+// heap-snapshot divergence of Sec. 2.
+func collectConstants(cu *CompilationUnit, cfg Config) {
+	comp := compositionHash(cu)
+	seen := make(map[string]bool)
+	members := append([]*ir.Method{cu.Root}, cu.Inlined...)
+	for _, m := range members {
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpConstStr || seen[in.Sym] {
+					continue
+				}
+				seen[in.Sym] = true
+				folded := false
+				if cfg.FoldPercent > 0 {
+					h := murmur.Sum64Seed([]byte(in.Sym), comp)
+					folded = int(h%100) < cfg.FoldPercent
+				}
+				cu.Constants = append(cu.Constants, Constant{
+					Literal: in.Sym,
+					Source:  m,
+					Folded:  folded,
+				})
+			}
+		}
+	}
+}
+
+// compositionHash hashes the member set of a CU.
+func compositionHash(cu *CompilationUnit) uint64 {
+	sigs := make([]string, 0, len(cu.Members))
+	for m := range cu.Members {
+		sigs = append(sigs, m.Signature())
+	}
+	sort.Strings(sigs)
+	return murmur.Sum64([]byte(strings.Join(sigs, ";")))
+}
+
+// peaCount runs a method-local partial escape analysis over every member of
+// the CU and counts allocations that do not escape (and would therefore be
+// scalar-replaced by Graal's PEA [51]).
+func peaCount(cu *CompilationUnit) int {
+	n := 0
+	counted := make(map[*ir.Method]bool)
+	for _, m := range append([]*ir.Method{cu.Root}, cu.Inlined...) {
+		if counted[m] {
+			continue
+		}
+		counted[m] = true
+		n += nonEscapingAllocs(m)
+	}
+	return n
+}
+
+// nonEscapingAllocs counts OpNew results that never escape the method:
+// never stored into another object/array/static, never passed to a call,
+// never returned, and never copied. Writes into the fresh object's own
+// fields do not count as escapes.
+func nonEscapingAllocs(m *ir.Method) int {
+	escaped := make(map[int]bool) // register -> escapes
+	allocs := make(map[int]bool)  // register -> fresh allocation
+	for _, b := range m.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpNew:
+				// A later redefinition of a register invalidates tracking;
+				// treat each New register as one allocation site.
+				allocs[in.A] = true
+			case ir.OpPutField:
+				// obj.f = val: the value escapes into obj.
+				escaped[in.B] = true
+			case ir.OpArraySet:
+				escaped[in.C] = true
+			case ir.OpPutStatic:
+				escaped[in.A] = true
+			case ir.OpMove:
+				escaped[in.B] = true
+			case ir.OpCall, ir.OpCallVirt, ir.OpIntrinsic:
+				for _, a := range in.Args {
+					escaped[a] = true
+				}
+			}
+		}
+		if b.Term.Op == ir.TermReturn && b.Term.Ret >= 0 {
+			escaped[b.Term.Ret] = true
+		}
+	}
+	n := 0
+	for r := range allocs {
+		if !escaped[r] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+// Package graal is the simulated optimizing compiler of the toolchain.
+//
+// It mirrors the aspects of the Graal compiler that the paper's methodology
+// depends on (Sec. 2): methods are grouped into compilation units (CUs) by a
+// size-driven inliner, so a CU consists of a root method plus everything
+// inlined into it; a conservative reachability analysis (with virtual-call
+// saturation) decides which code enters the binary; and instrumentation code
+// inflates method sizes, which makes the inliner behave differently between
+// the instrumented and the optimized compilation of the same program — the
+// source of CU and heap-snapshot divergence that the paper's object-matching
+// strategies must overcome.
+package graal
+
+// Instrumentation selects the profiling probes compiled into an image
+// (Sec. 6.1). Each kind inflates code size differently, perturbing inlining.
+type Instrumentation uint8
+
+const (
+	// InstrNone builds a regular (or optimized) image without probes.
+	InstrNone Instrumentation = iota
+	// InstrCU traces compilation-unit entry events (cu ordering, Sec. 4.1).
+	InstrCU
+	// InstrMethod traces every method entry (method ordering, Sec. 4.2).
+	InstrMethod
+	// InstrHeap traces executed paths and the IDs of all accessed heap
+	// objects (heap ordering, Sec. 5), via path profiling.
+	InstrHeap
+)
+
+func (i Instrumentation) String() string {
+	switch i {
+	case InstrNone:
+		return "none"
+	case InstrCU:
+		return "cu"
+	case InstrMethod:
+		return "method"
+	case InstrHeap:
+		return "heap"
+	default:
+		return "instr(?)"
+	}
+}
+
+// Config holds the compiler tuning knobs.
+type Config struct {
+	// InlineSmallSize is the maximum effective callee size the inliner
+	// considers for inlining.
+	InlineSmallSize int
+	// CUBudget caps the total estimated size of a compilation unit.
+	CUBudget int
+	// MaxInlineDepth caps the inlining recursion depth.
+	MaxInlineDepth int
+	// SaturationThreshold is the virtual-call target-set size beyond which
+	// the analysis saturates the call site, treating it as reaching all
+	// possible overriders (Sec. 2, [58]).
+	SaturationThreshold int
+
+	// PGOBonus is added to InlineSmallSize in profile-guided (optimized)
+	// builds: PGO lets Graal inline hot callees more aggressively, which is
+	// one reason optimized and instrumented builds diverge (Sec. 2).
+	PGOBonus int
+
+	// Probe size inflation in bytes (Sec. 6.1): instrumentation is emitted
+	// at the IR level and enlarges compiled code, perturbing inlining.
+
+	// ProbeCUEntry is added once per CU root in InstrCU builds.
+	ProbeCUEntry int
+	// ProbeMethodEntry is added to every method in InstrMethod builds.
+	ProbeMethodEntry int
+	// ProbePerBlock is added per basic block in InstrHeap builds (path
+	// profiling edge code).
+	ProbePerBlock int
+	// ProbePerAccess is added per field/array access in InstrHeap builds
+	// (object-ID recording).
+	ProbePerAccess int
+
+	// FoldPercent is the percentage of CU code constants that optimization
+	// (inlining-enabled constant folding / partial escape analysis) removes
+	// from the image heap. Which constants fold depends on the CU
+	// composition, so the folded set differs between builds whose inlining
+	// differs — one of the heap-snapshot divergence sources of Sec. 2.
+	FoldPercent int
+}
+
+// DefaultConfig returns the tuning used by the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		InlineSmallSize:     96,
+		CUBudget:            1600,
+		MaxInlineDepth:      6,
+		SaturationThreshold: 4,
+		PGOBonus:            24,
+		ProbeCUEntry:        24,
+		ProbeMethodEntry:    22,
+		ProbePerBlock:       10,
+		ProbePerAccess:      16,
+		FoldPercent:         10,
+	}
+}

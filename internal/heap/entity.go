@@ -1,0 +1,104 @@
+package heap
+
+import "nimage/internal/ir"
+
+// Entity is the wrapper around a value that the identity algorithms of the
+// paper take as input (Algorithms 1–3). It stores and inspects metadata of
+// the wrapped value: its type, fields, array elements, and — for snapshot
+// objects — root status, inclusion reason, and first-path parents.
+type Entity struct {
+	val Value
+	// staticType is the declared type of the slot the value was read from;
+	// used when the value is null or primitive.
+	staticType ir.TypeRef
+}
+
+// ObjEntity wraps an object reference.
+func ObjEntity(o *Object) Entity {
+	if o == nil {
+		return Entity{val: Null(), staticType: ir.Ref("java.lang.Object")}
+	}
+	return Entity{val: RefVal(o), staticType: o.Type()}
+}
+
+// ValEntity wraps an arbitrary value read from a slot of the given static
+// type.
+func ValEntity(v Value, static ir.TypeRef) Entity { return Entity{val: v, staticType: static} }
+
+// IsNull reports whether the wrapped value is the null reference.
+func (e Entity) IsNull() bool { return e.val.IsNull() }
+
+// IsPrimitive reports whether the wrapped value is a primitive.
+func (e Entity) IsPrimitive() bool { return e.val.Kind != VRef }
+
+// IsString reports whether the wrapped value is a string object.
+func (e Entity) IsString() bool {
+	return e.val.Kind == VRef && e.val.Ref != nil && e.val.Ref.IsString()
+}
+
+// IsObjectInstance reports whether the wrapped value is a non-array object.
+func (e Entity) IsObjectInstance() bool {
+	return e.val.Kind == VRef && e.val.Ref != nil && !e.val.Ref.IsArray
+}
+
+// IsArray reports whether the wrapped value is an array.
+func (e Entity) IsArray() bool { return e.val.Kind == VRef && e.val.Ref != nil && e.val.Ref.IsArray }
+
+// Object returns the wrapped object, or nil.
+func (e Entity) Object() *Object { return e.val.Ref }
+
+// Value returns the wrapped value.
+func (e Entity) Value() Value { return e.val }
+
+// Type returns the dynamic type of the wrapped value (the static slot type
+// for null/primitive values).
+func (e Entity) Type() ir.TypeRef {
+	if e.val.Kind == VRef && e.val.Ref != nil {
+		return e.val.Ref.Type()
+	}
+	if e.val.Kind == VInt && e.staticType.Kind != ir.KInt {
+		return e.staticType
+	}
+	if e.val.Kind == VFloat {
+		return ir.Float()
+	}
+	return e.staticType
+}
+
+// NumFields returns the instance-field count of an object instance.
+func (e Entity) NumFields() int {
+	if !e.IsObjectInstance() {
+		return 0
+	}
+	return len(e.val.Ref.Fields)
+}
+
+// FieldDecl returns the declaration of the k-th field (source order).
+func (e Entity) FieldDecl(k int) *ir.Field { return e.val.Ref.Class.AllFields[k] }
+
+// GetFieldWrapper wraps the value of the k-th field.
+func (e Entity) GetFieldWrapper(k int) Entity {
+	f := e.val.Ref.Class.AllFields[k]
+	return ValEntity(e.val.Ref.Fields[k], f.Type)
+}
+
+// Length returns the array length.
+func (e Entity) Length() int { return e.val.Ref.Len() }
+
+// ElementType returns the array element type.
+func (e Entity) ElementType() ir.TypeRef { return e.val.Ref.Elem }
+
+// GetElementWrapper wraps the k-th array element.
+func (e Entity) GetElementWrapper(k int) Entity {
+	return ValEntity(e.val.Ref.GetElem(k), e.val.Ref.Elem)
+}
+
+// IsRoot reports whether the wrapped object is a snapshot root.
+func (e Entity) IsRoot() bool { return e.val.Ref != nil && e.val.Ref.Root }
+
+// InclusionReason returns the heap-inclusion reason of a root.
+func (e Entity) InclusionReason() string { return e.val.Ref.Reason }
+
+// FirstParent returns the first-path parent of the wrapped snapshot object
+// (Algorithm 3 uses getParents().first()).
+func (e Entity) FirstParent() *Object { return e.val.Ref.Parent }

@@ -1,0 +1,387 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nimage/internal/ir"
+)
+
+// testClasses builds a tiny resolved program with a few classes for heap
+// tests: String, Node{next Node, val long}, Pair{a String, b Node}.
+func testClasses(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("heaptest")
+	b.Class(ir.StringClass)
+	b.Class("Node").Field("next", ir.Ref("Node")).Field("val", ir.Int())
+	b.Class("Pair").Field("a", ir.String()).Field("b", ir.Ref("Node"))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestNewObjectZeroed(t *testing.T) {
+	p := testClasses(t)
+	o := NewObject(p.Class("Node"))
+	if !o.Fields[0].IsNull() {
+		t.Errorf("ref field not null: %v", o.Fields[0])
+	}
+	if o.Fields[1].Kind != VInt || o.Fields[1].Int() != 0 {
+		t.Errorf("int field not zero: %v", o.Fields[1])
+	}
+}
+
+func TestFieldAndElemAccess(t *testing.T) {
+	p := testClasses(t)
+	n := NewObject(p.Class("Node"))
+	valF := p.Class("Node").LookupField("val")
+	n.SetField(valF, IntVal(7))
+	if got := n.GetField(valF).Int(); got != 7 {
+		t.Errorf("val = %d", got)
+	}
+	a := NewArray(ir.Int(), 3)
+	a.SetElem(1, IntVal(5))
+	if got := a.GetElem(1).Int(); got != 5 {
+		t.Errorf("elem = %d", got)
+	}
+	if a.Len() != 3 {
+		t.Errorf("len = %d", a.Len())
+	}
+}
+
+func TestPackedByteArray(t *testing.T) {
+	a := NewByteArray(1000)
+	if a.Len() != 1000 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	if got := a.SnapshotSize(); got != 16+1000 {
+		t.Errorf("size = %d", got)
+	}
+	v1, v2 := a.GetElem(5), a.GetElem(5)
+	if v1 != v2 {
+		t.Error("packed reads not deterministic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("write to packed array did not panic")
+		}
+	}()
+	a.SetElem(0, IntVal(1))
+}
+
+func TestSnapshotSizes(t *testing.T) {
+	p := testClasses(t)
+	n := NewObject(p.Class("Node"))
+	if got := n.SnapshotSize(); got != 16+2*8 {
+		t.Errorf("node size = %d", got)
+	}
+	s := NewString(p.Class(ir.StringClass), "hello")
+	if got := s.SnapshotSize(); got != 16+8+8 {
+		t.Errorf("string size = %d", got)
+	}
+	a := NewArray(ir.Float(), 4)
+	if got := a.SnapshotSize(); got != 16+32 {
+		t.Errorf("array size = %d", got)
+	}
+}
+
+func TestInterns(t *testing.T) {
+	p := testClasses(t)
+	in := NewInterns(p.Class(ir.StringClass))
+	a := in.Intern("x")
+	b := in.Intern("x")
+	c := in.Intern("y")
+	if a != b {
+		t.Error("same literal interned twice")
+	}
+	if a == c {
+		t.Error("distinct literals share object")
+	}
+	if len(in.All()) != 2 {
+		t.Errorf("interned count = %d", len(in.All()))
+	}
+}
+
+func TestStaticsDefaults(t *testing.T) {
+	p := testClasses(t)
+	st := NewStatics()
+	f := &ir.Field{Name: "tmp", Type: ir.Ref("Node"), Static: true}
+	f.Class = p.Class("Node")
+	if !st.Get(f).IsNull() {
+		t.Error("unset ref static not null")
+	}
+	st.Set(f, IntVal(3))
+	if st.Get(f).Int() != 3 {
+		t.Error("set/get static")
+	}
+}
+
+func TestBuildSnapshotOrderAndParents(t *testing.T) {
+	p := testClasses(t)
+	node := p.Class("Node")
+	nextF := node.LookupField("next")
+
+	// chain: a -> b -> c; root is a.
+	a, b2, c := NewObject(node), NewObject(node), NewObject(node)
+	a.SetField(nextF, RefVal(b2))
+	b2.SetField(nextF, RefVal(c))
+
+	s := BuildSnapshot([]RootRef{{Obj: a, Reason: "Main.head"}})
+	if len(s.Objects) != 3 {
+		t.Fatalf("objects = %d", len(s.Objects))
+	}
+	if s.Objects[0] != a || s.Objects[1] != b2 || s.Objects[2] != c {
+		t.Fatal("encounter order wrong")
+	}
+	if !a.Root || a.Reason != "Main.head" || a.Parent != nil {
+		t.Errorf("root metadata: %+v", a)
+	}
+	if b2.Parent != a || b2.ParentField != nextF {
+		t.Errorf("b parent: %v %v", b2.Parent, b2.ParentField)
+	}
+	for i, o := range s.Objects {
+		if o.SeqID != i {
+			t.Errorf("SeqID[%d] = %d", i, o.SeqID)
+		}
+		if !o.InSnapshot || o.Size <= 0 {
+			t.Errorf("object %d metadata: snap=%v size=%d", i, o.InSnapshot, o.Size)
+		}
+	}
+}
+
+func TestBuildSnapshotSharedAndCyclic(t *testing.T) {
+	p := testClasses(t)
+	node := p.Class("Node")
+	nextF := node.LookupField("next")
+
+	// cycle: x -> y -> x, plus second root z -> y (y already included).
+	x, y, z := NewObject(node), NewObject(node), NewObject(node)
+	x.SetField(nextF, RefVal(y))
+	y.SetField(nextF, RefVal(x))
+	z.SetField(nextF, RefVal(y))
+
+	s := BuildSnapshot([]RootRef{
+		{Obj: x, Reason: "A.f"},
+		{Obj: z, Reason: "B.g"},
+	})
+	if len(s.Objects) != 3 {
+		t.Fatalf("objects = %d (cycle mishandled?)", len(s.Objects))
+	}
+	// y's first path must be via x, not z.
+	if y.Parent != x {
+		t.Errorf("y.Parent = %v", y.Parent)
+	}
+	if z.Parent != nil || !z.Root {
+		t.Errorf("z should be root")
+	}
+}
+
+func TestBuildSnapshotArrayParents(t *testing.T) {
+	p := testClasses(t)
+	node := p.Class("Node")
+	arr := NewArray(ir.Ref("Node"), 3)
+	n := NewObject(node)
+	arr.SetElem(2, RefVal(n))
+	s := BuildSnapshot([]RootRef{{Obj: arr, Reason: ReasonDataSection}})
+	if len(s.Objects) != 2 {
+		t.Fatalf("objects = %d", len(s.Objects))
+	}
+	if n.Parent != arr || n.ParentIndex != 2 || n.ParentField != nil {
+		t.Errorf("array parent: %v idx=%d", n.Parent, n.ParentIndex)
+	}
+}
+
+func TestBuildSnapshotDuplicateRootKeepsFirstReason(t *testing.T) {
+	p := testClasses(t)
+	o := NewObject(p.Class("Node"))
+	s := BuildSnapshot([]RootRef{
+		{Obj: o, Reason: "first"},
+		{Obj: o, Reason: "second"},
+	})
+	if len(s.Objects) != 1 || o.Reason != "first" {
+		t.Fatalf("objects=%d reason=%q", len(s.Objects), o.Reason)
+	}
+	if len(s.Roots) != 1 {
+		t.Fatalf("roots = %d", len(s.Roots))
+	}
+}
+
+func TestLayoutAlignedAndNonOverlapping(t *testing.T) {
+	p := testClasses(t)
+	var objs []*Object
+	objs = append(objs, NewString(p.Class(ir.StringClass), "abc"))
+	objs = append(objs, NewObject(p.Class("Node")))
+	objs = append(objs, NewByteArray(13))
+	for _, o := range objs {
+		o.Size = o.SnapshotSize()
+	}
+	total := Layout(objs)
+	var prevEnd int64
+	for i, o := range objs {
+		if o.Offset%8 != 0 {
+			t.Errorf("object %d offset %d not aligned", i, o.Offset)
+		}
+		if o.Offset < prevEnd {
+			t.Errorf("object %d overlaps previous", i)
+		}
+		prevEnd = o.Offset + o.Size
+	}
+	if total < prevEnd {
+		t.Errorf("total %d < end %d", total, prevEnd)
+	}
+}
+
+func TestValueTruthiness(t *testing.T) {
+	f := func(v int64) bool {
+		return IntVal(v).Truthy() == (v != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Null().Truthy() {
+		t.Error("null is truthy")
+	}
+	p := testClasses(t)
+	if !RefVal(NewObject(p.Class("Node"))).Truthy() {
+		t.Error("object is falsy")
+	}
+	if FloatVal(0).Truthy() || !FloatVal(1.5).Truthy() {
+		t.Error("float truthiness")
+	}
+}
+
+func TestEntityInspection(t *testing.T) {
+	p := testClasses(t)
+	pair := NewObject(p.Class("Pair"))
+	str := NewString(p.Class(ir.StringClass), "s")
+	n := NewObject(p.Class("Node"))
+	pair.SetField(p.Class("Pair").LookupField("a"), RefVal(str))
+	pair.SetField(p.Class("Pair").LookupField("b"), RefVal(n))
+
+	e := ObjEntity(pair)
+	if !e.IsObjectInstance() || e.IsArray() || e.IsNull() || e.IsPrimitive() {
+		t.Error("pair classification")
+	}
+	if e.NumFields() != 2 {
+		t.Fatalf("NumFields = %d", e.NumFields())
+	}
+	fa := e.GetFieldWrapper(0)
+	if !fa.IsString() {
+		t.Error("field a should be string")
+	}
+	fb := e.GetFieldWrapper(1)
+	if fb.Type().FullyQualifiedName() != "Node" {
+		t.Errorf("field b type = %s", fb.Type())
+	}
+
+	arr := NewArray(ir.Int(), 2)
+	arr.SetElem(0, IntVal(9))
+	ae := ObjEntity(arr)
+	if !ae.IsArray() || ae.Length() != 2 {
+		t.Error("array classification")
+	}
+	if ae.GetElementWrapper(0).Value().Int() != 9 {
+		t.Error("element wrapper value")
+	}
+	if !ae.GetElementWrapper(0).IsPrimitive() {
+		t.Error("int element should be primitive")
+	}
+
+	ne := ObjEntity(nil)
+	if !ne.IsNull() {
+		t.Error("nil entity should be null")
+	}
+}
+
+func TestEntityRootMetadata(t *testing.T) {
+	p := testClasses(t)
+	node := p.Class("Node")
+	nextF := node.LookupField("next")
+	a, b2 := NewObject(node), NewObject(node)
+	a.SetField(nextF, RefVal(b2))
+	BuildSnapshot([]RootRef{{Obj: a, Reason: ReasonInternedString}})
+
+	ea := ObjEntity(a)
+	if !ea.IsRoot() || ea.InclusionReason() != ReasonInternedString {
+		t.Error("root metadata via entity")
+	}
+	eb := ObjEntity(b2)
+	if eb.IsRoot() || eb.FirstParent() != a {
+		t.Error("child metadata via entity")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	p := testClasses(t)
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntVal(42), "42"},
+		{FloatVal(1.5), "1.5"},
+		{Null(), "null"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	o := NewObject(p.Class("Node"))
+	if s := RefVal(o).String(); !strings.HasPrefix(s, "Node@") {
+		t.Errorf("object string = %q", s)
+	}
+}
+
+func TestNewStringRequiresStringClass(t *testing.T) {
+	p := testClasses(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewString accepted a non-string class")
+		}
+	}()
+	NewString(p.Class("Node"), "boom")
+}
+
+func TestEntityTypeFallbacks(t *testing.T) {
+	p := testClasses(t)
+	_ = p
+	// A primitive float value types as double regardless of slot type.
+	fe := ValEntity(FloatVal(2.0), ir.Ref("whatever"))
+	if fe.Type().FullyQualifiedName() != "double" {
+		t.Errorf("float entity type = %s", fe.Type())
+	}
+	// A null reference types as the declared slot type.
+	ne := ValEntity(Null(), ir.Ref("Node"))
+	if ne.Type().FullyQualifiedName() != "Node" {
+		t.Errorf("null entity type = %s", ne.Type())
+	}
+	// An integer read from an int slot types as long.
+	ie := ValEntity(IntVal(3), ir.Int())
+	if ie.Type().FullyQualifiedName() != "long" {
+		t.Errorf("int entity type = %s", ie.Type())
+	}
+	if ie.NumFields() != 0 {
+		t.Error("primitive entity has fields")
+	}
+}
+
+func TestInternsRemoveEmpty(t *testing.T) {
+	p := testClasses(t)
+	in := NewInterns(p.Class(ir.StringClass))
+	in.Intern("keep")
+	in.Remove(nil) // no-op
+	if len(in.All()) != 1 {
+		t.Error("Remove(nil) changed the table")
+	}
+	in.Remove([]string{"keep", "absent"})
+	if len(in.All()) != 0 {
+		t.Error("Remove missed an entry")
+	}
+	// Re-interning after removal creates a fresh object.
+	if in.Intern("keep") == nil {
+		t.Error("re-intern failed")
+	}
+}

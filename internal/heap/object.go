@@ -1,0 +1,270 @@
+package heap
+
+import (
+	"fmt"
+
+	"nimage/internal/ir"
+)
+
+// Heap-inclusion reasons of snapshot roots (Sec. 5.3). Reasons that name a
+// static field or a method use the field/method signature directly.
+const (
+	ReasonInternedString = "InternedString"
+	ReasonDataSection    = "DataSection"
+	ReasonResource       = "Resource"
+)
+
+// Object is a heap object or array. Strings are objects of the built-in
+// string class with the Go string as payload.
+type Object struct {
+	// Class is the class of an instance object; nil for arrays.
+	Class *ir.Class
+	// IsArray marks arrays.
+	IsArray bool
+	// Elem is the element type of an array.
+	Elem ir.TypeRef
+	// ElemBytes is the storage size of one element: 8 for ordinary arrays,
+	// 1 for packed byte arrays (metadata and resource blobs, which dominate
+	// heap-snapshot size in real images — Sec. 7.2).
+	ElemBytes int
+	// Fields holds instance-field values indexed by ir.Field.Slot.
+	Fields []Value
+	// Elems holds array elements.
+	Elems []Value
+	// Str is the payload of string objects.
+	Str string
+
+	// Snapshot metadata, populated by BuildSnapshot.
+
+	// InSnapshot marks objects included in the image heap.
+	InSnapshot bool
+	// Root marks snapshot roots.
+	Root bool
+	// Reason is the heap-inclusion reason of a root.
+	Reason string
+	// Parent is the first-path parent: the object whose field/element
+	// reference caused this object's inclusion; nil for roots.
+	Parent *Object
+	// ParentField is the field of Parent referencing this object.
+	ParentField *ir.Field
+	// ParentIndex is the element index in Parent referencing this object.
+	ParentIndex int
+	// SeqID is the encounter order during snapshotting (0-based).
+	SeqID int
+	// Offset and Size locate the object inside .svm_heap after layout.
+	Offset int64
+	Size   int64
+
+	// packedLen is the byte length of packed byte arrays (Elems unset).
+	packedLen int
+}
+
+const objectHeader = 16 // mark word + class pointer
+const slotSize = 8
+
+// NewObject allocates an instance of class with zeroed fields (integers 0,
+// floats 0.0, references null).
+func NewObject(class *ir.Class) *Object {
+	o := &Object{Class: class, Fields: make([]Value, len(class.AllFields))}
+	for i, f := range class.AllFields {
+		switch f.Type.Kind {
+		case ir.KFloat:
+			o.Fields[i] = FloatVal(0)
+		case ir.KRef, ir.KArray:
+			o.Fields[i] = Null()
+		default:
+			o.Fields[i] = IntVal(0)
+		}
+	}
+	return o
+}
+
+// NewArray allocates an array of n elements of the given type, zeroed.
+func NewArray(elem ir.TypeRef, n int) *Object {
+	o := &Object{IsArray: true, Elem: elem, ElemBytes: slotSize, Elems: make([]Value, n)}
+	var zero Value
+	switch elem.Kind {
+	case ir.KFloat:
+		zero = FloatVal(0)
+	case ir.KRef, ir.KArray:
+		zero = Null()
+	default:
+		zero = IntVal(0)
+	}
+	for i := range o.Elems {
+		o.Elems[i] = zero
+	}
+	return o
+}
+
+// NewByteArray allocates a packed byte array of n bytes. Its elements are
+// not materialized; it models the metadata blobs of real image heaps.
+func NewByteArray(n int) *Object {
+	return &Object{IsArray: true, Elem: ir.Int(), ElemBytes: 1, Elems: nil, packedLen: n}
+}
+
+// NewString allocates a string object.
+func NewString(class *ir.Class, s string) *Object {
+	if class == nil || class.Name != ir.StringClass {
+		panic("heap: NewString requires the java.lang.String class")
+	}
+	o := NewObject(class)
+	o.Str = s
+	return o
+}
+
+// Len returns the array length.
+func (o *Object) Len() int {
+	if o.packedLen > 0 {
+		return o.packedLen
+	}
+	return len(o.Elems)
+}
+
+// Packed reports whether the object is a packed byte array whose contents
+// are a deterministic function of its length.
+func (o *Object) Packed() bool { return o.packedLen > 0 }
+
+// IsString reports whether the object is a string.
+func (o *Object) IsString() bool { return o.Class != nil && o.Class.Name == ir.StringClass }
+
+// Type returns the object's type.
+func (o *Object) Type() ir.TypeRef {
+	if o.IsArray {
+		return ir.Array(o.Elem)
+	}
+	return ir.Ref(o.Class.Name)
+}
+
+// TypeName returns the fully qualified type name.
+func (o *Object) TypeName() string { return o.Type().FullyQualifiedName() }
+
+// SnapshotSize returns the byte size the object occupies in .svm_heap.
+func (o *Object) SnapshotSize() int64 {
+	if o.IsArray {
+		return objectHeader + int64(o.Len()*o.ElemBytes)
+	}
+	if o.IsString() {
+		// Header + length/hash slots + character data, 8-byte aligned.
+		n := int64(len(o.Str))
+		return objectHeader + 8 + (n+7)/8*8
+	}
+	return objectHeader + int64(len(o.Fields)*slotSize)
+}
+
+// GetField reads the field value by resolved field.
+func (o *Object) GetField(f *ir.Field) Value {
+	if o.IsArray || f.Slot >= len(o.Fields) {
+		panic(fmt.Sprintf("heap: get field %s on %s", f.Descriptor(), o.TypeName()))
+	}
+	return o.Fields[f.Slot]
+}
+
+// SetField writes the field value by resolved field.
+func (o *Object) SetField(f *ir.Field, v Value) {
+	if o.IsArray || f.Slot >= len(o.Fields) {
+		panic(fmt.Sprintf("heap: set field %s on %s", f.Descriptor(), o.TypeName()))
+	}
+	o.Fields[f.Slot] = v
+}
+
+// GetElem reads array element i.
+func (o *Object) GetElem(i int) Value {
+	if o.packedLen > 0 {
+		if i < 0 || i >= o.packedLen {
+			panic(fmt.Sprintf("heap: index %d out of bounds [0,%d)", i, o.packedLen))
+		}
+		// Packed byte arrays read as deterministic pseudo-content.
+		return IntVal(int64(byte(i*131 + 17)))
+	}
+	if i < 0 || i >= len(o.Elems) {
+		panic(fmt.Sprintf("heap: index %d out of bounds [0,%d)", i, len(o.Elems)))
+	}
+	return o.Elems[i]
+}
+
+// SetElem writes array element i.
+func (o *Object) SetElem(i int, v Value) {
+	if o.packedLen > 0 {
+		panic("heap: write to packed byte array")
+	}
+	if i < 0 || i >= len(o.Elems) {
+		panic(fmt.Sprintf("heap: index %d out of bounds [0,%d)", i, len(o.Elems)))
+	}
+	o.Elems[i] = v
+}
+
+// Statics is the build-time storage of static fields.
+type Statics struct {
+	vals map[*ir.Field]Value
+}
+
+// NewStatics creates empty static storage.
+func NewStatics() *Statics { return &Statics{vals: make(map[*ir.Field]Value)} }
+
+// Get reads a static field (zero value if never written).
+func (s *Statics) Get(f *ir.Field) Value {
+	if v, ok := s.vals[f]; ok {
+		return v
+	}
+	switch f.Type.Kind {
+	case ir.KFloat:
+		return FloatVal(0)
+	case ir.KRef, ir.KArray:
+		return Null()
+	default:
+		return IntVal(0)
+	}
+}
+
+// Set writes a static field.
+func (s *Statics) Set(f *ir.Field, v Value) { s.vals[f] = v }
+
+// Interns is the interned-string table.
+type Interns struct {
+	class *ir.Class
+	byVal map[string]*Object
+	order []*Object
+}
+
+// NewInterns creates an empty intern table backed by the program's string
+// class.
+func NewInterns(stringClass *ir.Class) *Interns {
+	return &Interns{class: stringClass, byVal: make(map[string]*Object)}
+}
+
+// Intern returns the canonical string object for s, creating it on first
+// use. Interned strings become heap roots with reason "InternedString".
+func (t *Interns) Intern(s string) *Object {
+	if o, ok := t.byVal[s]; ok {
+		return o
+	}
+	o := NewString(t.class, s)
+	t.byVal[s] = o
+	t.order = append(t.order, o)
+	return o
+}
+
+// All returns the interned strings in interning order.
+func (t *Interns) All() []*Object { return t.order }
+
+// Remove drops the given literals from the table (used to roll back
+// interning performed during a benchmark run).
+func (t *Interns) Remove(literals []string) {
+	if len(literals) == 0 {
+		return
+	}
+	drop := make(map[string]bool, len(literals))
+	for _, s := range literals {
+		drop[s] = true
+	}
+	kept := t.order[:0]
+	for _, o := range t.order {
+		if drop[o.Str] {
+			delete(t.byVal, o.Str)
+			continue
+		}
+		kept = append(kept, o)
+	}
+	t.order = kept
+}

@@ -1,0 +1,82 @@
+// Package heap models the build-time Java heap of the simulated
+// Native-Image toolchain: objects, arrays, strings, static-field storage,
+// the interned-string table, and the heap snapshot embedded in the binary.
+//
+// The snapshot is obtained by traversing the object graph in a well-defined
+// order from the static fields of reachable classes and from constants in
+// the code section (Sec. 2). Each snapshotted object records the first path
+// that led to its inclusion and, for roots, the heap-inclusion reason — the
+// inputs of the heap-path identity strategy (Sec. 5.3).
+package heap
+
+import (
+	"fmt"
+	"math"
+)
+
+// ValueKind discriminates runtime value kinds.
+type ValueKind uint8
+
+const (
+	// VInt is a 64-bit integer value.
+	VInt ValueKind = iota
+	// VFloat is a 64-bit float value.
+	VFloat
+	// VRef is an object/array reference; a nil Ref is the null reference.
+	VRef
+)
+
+// Value is a build-time or runtime value of the mini language.
+type Value struct {
+	Kind ValueKind
+	// Bits holds the integer value or the IEEE bits of the float.
+	Bits int64
+	// Ref is the referee for VRef values (nil = null).
+	Ref *Object
+}
+
+// IntVal makes an integer value.
+func IntVal(v int64) Value { return Value{Kind: VInt, Bits: v} }
+
+// FloatVal makes a float value.
+func FloatVal(v float64) Value { return Value{Kind: VFloat, Bits: int64(math.Float64bits(v))} }
+
+// RefVal makes a reference value.
+func RefVal(o *Object) Value { return Value{Kind: VRef, Ref: o} }
+
+// Null is the null reference value.
+func Null() Value { return Value{Kind: VRef} }
+
+// Int returns the integer payload.
+func (v Value) Int() int64 { return v.Bits }
+
+// Float returns the float payload.
+func (v Value) Float() float64 { return math.Float64frombits(uint64(v.Bits)) }
+
+// IsNull reports whether the value is the null reference.
+func (v Value) IsNull() bool { return v.Kind == VRef && v.Ref == nil }
+
+// Truthy reports whether the value is "true" for conditional branches:
+// nonzero number or non-null reference.
+func (v Value) Truthy() bool {
+	if v.Kind == VRef {
+		return v.Ref != nil
+	}
+	return v.Bits != 0
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case VInt:
+		return fmt.Sprintf("%d", v.Bits)
+	case VFloat:
+		return fmt.Sprintf("%g", v.Float())
+	case VRef:
+		if v.Ref == nil {
+			return "null"
+		}
+		return v.Ref.TypeName() + "@" + fmt.Sprintf("%p", v.Ref)
+	default:
+		return "<invalid>"
+	}
+}

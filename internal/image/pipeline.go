@@ -1,0 +1,254 @@
+package image
+
+import (
+	"fmt"
+	"time"
+
+	"nimage/internal/core"
+	"nimage/internal/graal"
+	"nimage/internal/ir"
+	"nimage/internal/osim"
+	"nimage/internal/postproc"
+	"nimage/internal/profiler"
+	"nimage/internal/vm"
+)
+
+// vmHooks/vmCompose keep the hook plumbing readable.
+type vmHooks = vm.Hooks
+
+var vmCompose = vm.ComposeHooks
+
+// PipelineOptions configures the full profile-guided methodology of Fig. 1:
+// instrumented build → profiling run → post-processing → optimized build.
+type PipelineOptions struct {
+	Compiler graal.Config
+	// Strategy is one of the core.Strategy* names: "cu", "method",
+	// "incremental id", "structural hash", "heap path", or "cu+heap path".
+	Strategy string
+	// InstrumentedSeed / OptimizedSeed are the build seeds of the two
+	// builds; they differ in practice, which is exactly what makes object
+	// matching hard (Sec. 5).
+	InstrumentedSeed uint64
+	OptimizedSeed    uint64
+	// Mode selects the trace-buffer dump mode of the profiling run.
+	Mode profiler.DumpMode
+	// Args are the program arguments of the profiling run.
+	Args []int64
+	// Service marks microservice workloads: the profiling run stops at the
+	// first response and is then killed with SIGKILL (Sec. 7.1), so
+	// DumpOnFull buffers are lost.
+	Service bool
+	// MaxPaths bounds per-method path counts.
+	MaxPaths uint64
+}
+
+// ProfilingRun reports the instrumented execution (for the overhead
+// evaluation of Sec. 7.4).
+type ProfilingRun struct {
+	Instr graal.Instrumentation
+	Mode  profiler.DumpMode
+	// Time is the simulated end-to-end (or to-first-response) time of the
+	// instrumented run, including profiling overhead.
+	Time time.Duration
+	// CPUTime is the compute share of Time (the overhead table compares
+	// compute times, Sec. 7.4).
+	CPUTime time.Duration
+	// TraceWords counts the 64-bit words that reached the trace files.
+	TraceWords int
+}
+
+// PipelineResult is the outcome of BuildOptimized.
+type PipelineResult struct {
+	// Optimized is the profile-guided image.
+	Optimized *Image
+	// Runs lists the profiling executions performed (one, or two for the
+	// combined strategy).
+	Runs []ProfilingRun
+	// CodeProfile / HeapProfile are the ordering profiles fed to the
+	// optimized build.
+	CodeProfile []string
+	HeapProfile []uint64
+}
+
+// strategyInstr maps a strategy name to the instrumentation it needs.
+func strategyInstr(strategy string) (graal.Instrumentation, error) {
+	switch strategy {
+	case core.StrategyCU, core.StrategyPettisHansen:
+		return graal.InstrCU, nil
+	case core.StrategyMethod:
+		return graal.InstrMethod, nil
+	case core.StrategyIncremental, core.StrategyStructural, core.StrategyHeapPath:
+		return graal.InstrHeap, nil
+	default:
+		return 0, fmt.Errorf("image: unknown strategy %q", strategy)
+	}
+}
+
+// composePH merges the PH call-graph collector into the tracer hooks.
+func composePH(h vmHooks, g *core.CallGraph) vmHooks {
+	return vmCompose(h, g.Collector())
+}
+
+// heapStrategyByName returns the identity strategy with the given name.
+func heapStrategyByName(name string) core.HeapStrategy {
+	for _, s := range core.HeapStrategies() {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// BuildOptimized runs the full pipeline for one strategy and returns the
+// optimized image. The combined "cu+heap path" strategy performs two
+// profiling runs — one CU-instrumented, one heap-instrumented — and feeds
+// both profiles to the optimizing build (Sec. 7.1).
+func BuildOptimized(p *ir.Program, opts PipelineOptions) (*PipelineResult, error) {
+	res := &PipelineResult{}
+	collect := func(strategy string) error {
+		instr, err := strategyInstr(strategy)
+		if err != nil {
+			return err
+		}
+		run, code, heapProf, err := profileOnce(p, opts, instr, strategy)
+		if err != nil {
+			return err
+		}
+		res.Runs = append(res.Runs, run)
+		if code != nil {
+			res.CodeProfile = code
+		}
+		if heapProf != nil {
+			res.HeapProfile = heapProf
+		}
+		return nil
+	}
+
+	optOpts := Options{
+		Kind:      KindOptimized,
+		Compiler:  opts.Compiler,
+		BuildSeed: opts.OptimizedSeed,
+		MaxPaths:  opts.MaxPaths,
+	}
+	switch opts.Strategy {
+	case core.StrategyCombined:
+		if err := collect(core.StrategyCU); err != nil {
+			return nil, err
+		}
+		if err := collect(core.StrategyHeapPath); err != nil {
+			return nil, err
+		}
+		optOpts.HeapStrategy = heapStrategyByName(core.StrategyHeapPath)
+	default:
+		if err := collect(opts.Strategy); err != nil {
+			return nil, err
+		}
+		optOpts.HeapStrategy = heapStrategyByName(opts.Strategy)
+	}
+	optOpts.CodeProfile = res.CodeProfile
+	optOpts.HeapProfile = res.HeapProfile
+
+	opt, err := Build(p, optOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.Optimized = opt
+	return res, nil
+}
+
+// profileOnce builds one instrumented image, executes it, and
+// post-processes the traces into profiles. It returns the code profile
+// (for InstrCU/InstrMethod) or the heap profile (for InstrHeap, translated
+// by the named strategy).
+func profileOnce(p *ir.Program, opts PipelineOptions, instr graal.Instrumentation, strategy string) (ProfilingRun, []string, []uint64, error) {
+	run := ProfilingRun{Instr: instr, Mode: opts.Mode}
+	img, err := Build(p, Options{
+		Kind:      KindInstrumented,
+		Compiler:  opts.Compiler,
+		Instr:     instr,
+		Mode:      opts.Mode,
+		BuildSeed: opts.InstrumentedSeed,
+		MaxPaths:  opts.MaxPaths,
+	})
+	if err != nil {
+		return run, nil, nil, fmt.Errorf("image: instrumented build: %w", err)
+	}
+
+	tr := profiler.NewTracer(instr, opts.Mode)
+	tr.MethodIdx = img.Table.Index
+	tr.Numberings = img.Numberings
+	tr.ObjectHandle = img.ObjectHandle
+
+	// The Pettis–Hansen baseline needs edge frequencies rather than a
+	// first-execution trace, so it attaches its own call-graph collector.
+	var callGraph *core.CallGraph
+	hooks := tr.Hooks()
+	if strategy == core.StrategyPettisHansen {
+		callGraph = core.NewCallGraph()
+		hooks = composePH(hooks, callGraph)
+	}
+
+	// The profiling run executes on a scratch OS; its page faults are
+	// irrelevant, but its simulated time (with profiling overhead) is the
+	// overhead measurement of Sec. 7.4.
+	scratch := osim.NewOS(osim.SSD())
+	proc, err := img.NewProcess(scratch, hooks)
+	if err != nil {
+		return run, nil, nil, err
+	}
+	defer proc.Close()
+	tr.AddCycles = func(c int64) { proc.Machine.Cycles += c }
+	proc.Machine.StopOnRespond = opts.Service
+	if err := proc.Run(opts.Args...); err != nil {
+		return run, nil, nil, fmt.Errorf("image: profiling run: %w", err)
+	}
+	st := proc.Stats()
+	if opts.Service && st.TimeToResponse > 0 {
+		run.Time = st.TimeToResponse
+	} else {
+		run.Time = st.Total
+	}
+	if opts.Service {
+		run.CPUTime = time.Duration(proc.Machine.RespondTimeNanos())
+	} else {
+		run.CPUTime = st.CPUTime
+	}
+
+	traces := tr.Finish(opts.Service)
+	for _, tt := range traces {
+		run.TraceWords += len(tt.Words)
+	}
+
+	if callGraph != nil {
+		order := core.PettisHansenOrder(img.Comp.CUs, callGraph)
+		profile := make([]string, 0, len(order))
+		for _, cu := range order {
+			profile = append(profile, cu.Signature())
+		}
+		return run, profile, nil, nil
+	}
+
+	switch instr {
+	case graal.InstrCU:
+		a := postproc.NewCUOrderAnalysis()
+		if err := postproc.Dispatch(traces, img.Table, img.Numberings, a); err != nil {
+			return run, nil, nil, err
+		}
+		return run, a.Profile(), nil, nil
+	case graal.InstrMethod:
+		a := postproc.NewMethodOrderAnalysis()
+		if err := postproc.Dispatch(traces, img.Table, img.Numberings, a); err != nil {
+			return run, nil, nil, err
+		}
+		return run, a.Profile(), nil, nil
+	default:
+		a := postproc.NewHeapOrderAnalysis()
+		if err := postproc.Dispatch(traces, img.Table, img.Numberings, a); err != nil {
+			return run, nil, nil, err
+		}
+		prof := a.Profile(func(h uint64) (uint64, bool) {
+			return img.StrategyIDOfHandle(strategy, h)
+		})
+		return run, nil, prof, nil
+	}
+}

@@ -1,0 +1,23 @@
+package ir
+
+// AccessCount returns how many traced heap-object accesses the instruction
+// performs when it executes. Field and array instructions access one
+// object; string intrinsics access their string operands (string reads are
+// field/array accesses of the underlying character data in a real runtime,
+// so the instrumentation records them too). The counts are static, which
+// lets the path profiler derive how many object identifiers follow a path
+// ID in the trace (Sec. 6.1).
+func (in *Instr) AccessCount() int {
+	switch in.Op {
+	case OpGetField, OpPutField, OpArrayGet, OpArraySet, OpArrayLen:
+		return 1
+	case OpIntrinsic:
+		switch in.Sym {
+		case IntrinsicStrLen, IntrinsicStrHash, IntrinsicStrChar, IntrinsicIntern:
+			return 1
+		case IntrinsicStrEq, IntrinsicConcat:
+			return 2
+		}
+	}
+	return 0
+}

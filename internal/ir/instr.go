@@ -1,0 +1,285 @@
+package ir
+
+import "fmt"
+
+// Op enumerates instruction opcodes of the register machine.
+type Op uint8
+
+const (
+	// OpConstInt writes the integer literal Val into register A.
+	OpConstInt Op = iota
+	// OpConstFloat writes the float literal (Val holds the IEEE bits) into A.
+	OpConstFloat
+	// OpConstStr writes a reference to the string literal Sym into A. At
+	// image build time each distinct literal of a compiled method becomes a
+	// heap-snapshot root whose inclusion reason is the embedding method
+	// (Sec. 5.3: "constant pointer embedded in a method").
+	OpConstStr
+	// OpConstNull writes the null reference into A.
+	OpConstNull
+	// OpMove copies register B into register A.
+	OpMove
+	// OpArith computes A = B <ArithOp(Val)> C on integers.
+	OpArith
+	// OpFArith computes A = B <ArithOp(Val)> C on floats.
+	OpFArith
+	// OpCmp computes A = (B <CmpOp(Val)> C) as 0/1. Operands follow the
+	// integer/float kind of the registers at runtime.
+	OpCmp
+	// OpConvIF converts the integer in B to a float in A.
+	OpConvIF
+	// OpConvFI truncates the float in B to an integer in A.
+	OpConvFI
+	// OpNew allocates an instance of class Sym into A.
+	OpNew
+	// OpNewArray allocates an array with element type Type and length taken
+	// from register B into A.
+	OpNewArray
+	// OpArrayGet loads A = B[C].
+	OpArrayGet
+	// OpArraySet stores A[B] = C.
+	OpArraySet
+	// OpArrayLen loads the length of array B into A.
+	OpArrayLen
+	// OpGetField loads A = B.<field Sym of class CName>.
+	OpGetField
+	// OpPutField stores A.<field Sym of class CName> = B.
+	OpPutField
+	// OpGetStatic loads A = <static field Sym of class CName>.
+	OpGetStatic
+	// OpPutStatic stores <static field Sym of class CName> = A.
+	OpPutStatic
+	// OpCall invokes the statically bound method Sym of class CName with
+	// Args and stores the result (if any) into A. For instance methods the
+	// receiver is Args[0].
+	OpCall
+	// OpCallVirt invokes method Sym with dynamic dispatch on the class of
+	// the receiver Args[0] and stores the result (if any) into A.
+	OpCallVirt
+	// OpIntrinsic invokes the built-in operation Sym with Args and stores
+	// the result (if any) into A. See the Intrinsic* constants.
+	OpIntrinsic
+)
+
+var opNames = [...]string{
+	OpConstInt: "const.i", OpConstFloat: "const.f", OpConstStr: "const.s",
+	OpConstNull: "const.null", OpMove: "move", OpArith: "arith",
+	OpFArith: "farith", OpCmp: "cmp", OpConvIF: "conv.if", OpConvFI: "conv.fi",
+	OpNew: "new", OpNewArray: "newarray", OpArrayGet: "aget",
+	OpArraySet: "aset", OpArrayLen: "alen", OpGetField: "getfield",
+	OpPutField: "putfield", OpGetStatic: "getstatic", OpPutStatic: "putstatic",
+	OpCall: "call", OpCallVirt: "callvirt", OpIntrinsic: "intrinsic",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ArithOp enumerates arithmetic operators for OpArith/OpFArith (stored in
+// Instr.Val).
+type ArithOp int64
+
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+)
+
+// CmpOp enumerates comparison operators for OpCmp (stored in Instr.Val).
+type CmpOp int64
+
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// Intrinsic names understood by the interpreter (Instr.Sym of OpIntrinsic).
+const (
+	// IntrinsicPrint consumes one argument; models console output cost.
+	IntrinsicPrint = "print"
+	// IntrinsicArg returns the program argument with index Args[0].
+	IntrinsicArg = "arg"
+	// IntrinsicRespond marks the first external response of a microservice
+	// workload; the harness measures elapsed time until it executes
+	// (Sec. 7.1) and then delivers SIGKILL.
+	IntrinsicRespond = "respond"
+	// IntrinsicSpawn starts a new thread executing the static method named
+	// by Instr.CName (in "Class.method" form). Args, if present, pass one
+	// integer to the thread entry. Threads are scheduled deterministically
+	// by the interpreter.
+	IntrinsicSpawn = "spawn"
+	// IntrinsicYield hints the deterministic scheduler to switch threads.
+	IntrinsicYield = "yield"
+	// IntrinsicBuildSalt returns a value that differs between image builds
+	// (it models timestamps, identity hash codes, and random seeds captured
+	// by class initializers, one of the heap-divergence sources of Sec. 2).
+	IntrinsicBuildSalt = "buildsalt"
+	// IntrinsicIntern interns the string in Args[0]; at build time the
+	// result becomes an InternedString heap root (Sec. 5.3).
+	IntrinsicIntern = "intern"
+	// IntrinsicConcat returns the concatenation of two strings.
+	IntrinsicConcat = "concat"
+	// IntrinsicStrLen returns the length of the string in Args[0].
+	IntrinsicStrLen = "strlen"
+	// IntrinsicStrHash returns a deterministic content hash of a string.
+	IntrinsicStrHash = "strhash"
+	// IntrinsicItoa converts the integer in Args[0] to a string.
+	IntrinsicItoa = "itoa"
+	// IntrinsicStrChar returns the byte of string Args[0] at index Args[1].
+	IntrinsicStrChar = "strchar"
+	// IntrinsicStrEq returns 1 when the strings in Args[0] and Args[1] have
+	// equal contents.
+	IntrinsicStrEq = "streq"
+	// IntrinsicAbsF returns the absolute value of the float in Args[0].
+	IntrinsicAbsF = "absf"
+	// IntrinsicSqrt returns the square root of the float in Args[0].
+	IntrinsicSqrt = "sqrt"
+	// IntrinsicCos / IntrinsicSin are trigonometric helpers for AWFY.
+	IntrinsicCos = "cos"
+	IntrinsicSin = "sin"
+)
+
+// Instr is a single three-address instruction. The meaning of the operand
+// fields depends on Op; unused fields are zero.
+type Instr struct {
+	Op Op
+	// A is the destination register for producing instructions, or the
+	// object/array register for OpArraySet/OpPutField/OpPutStatic.
+	A int
+	// B and C are source registers.
+	B, C int
+	// Val is the integer literal, float bits, or operator code.
+	Val int64
+	// Sym is the string literal, field name, method name, or intrinsic name.
+	Sym string
+	// CName is the class name qualifying Sym for field/method instructions.
+	CName string
+	// Type is the allocated type for OpNew (KRef) / OpNewArray (element).
+	Type TypeRef
+	// Args are the argument registers of calls and intrinsics.
+	Args []int
+
+	// Resolved links, populated by Program.Resolve.
+
+	// Field is the resolved field for field instructions.
+	Field *Field
+	// Method is the resolved statically bound target for OpCall, or the
+	// resolution root for OpCallVirt.
+	Method *Method
+	// Class is the resolved class for OpNew.
+	Class *Class
+}
+
+// HasDest reports whether the instruction writes register A.
+func (in *Instr) HasDest() bool {
+	switch in.Op {
+	case OpArraySet, OpPutField, OpPutStatic:
+		return false
+	case OpIntrinsic:
+		switch in.Sym {
+		case IntrinsicPrint, IntrinsicRespond, IntrinsicSpawn, IntrinsicYield:
+			return false
+		}
+		return true
+	case OpCall, OpCallVirt:
+		return in.A >= 0
+	}
+	return true
+}
+
+// CodeSize returns the estimated machine-code size in bytes that this
+// instruction contributes to its method. The inliner (internal/graal) is
+// size-driven, so these estimates — not the real x86 encoding — determine
+// compilation-unit formation, exactly as Graal's node-cost estimates do.
+func (in *Instr) CodeSize() int {
+	switch in.Op {
+	case OpConstInt, OpConstFloat:
+		return 10
+	case OpConstStr, OpConstNull:
+		return 8
+	case OpMove:
+		return 3
+	case OpArith, OpFArith, OpCmp:
+		return 4
+	case OpConvIF, OpConvFI:
+		return 4
+	case OpNew:
+		return 24 // allocation fast path
+	case OpNewArray:
+		return 28
+	case OpArrayGet, OpArraySet:
+		return 9 // bounds check + access
+	case OpArrayLen:
+		return 4
+	case OpGetField, OpPutField:
+		return 7
+	case OpGetStatic, OpPutStatic:
+		return 8
+	case OpCall:
+		return 12 + 2*len(in.Args)
+	case OpCallVirt:
+		return 18 + 2*len(in.Args) // vtable load + indirect call
+	case OpIntrinsic:
+		return 14
+	default:
+		return 8
+	}
+}
+
+// TermOp enumerates block terminators.
+type TermOp uint8
+
+const (
+	// TermGoto jumps unconditionally to Then.
+	TermGoto TermOp = iota
+	// TermIf jumps to Then when register Cond is nonzero, else to Else.
+	TermIf
+	// TermReturn leaves the method, returning register Ret (or none if
+	// Ret < 0).
+	TermReturn
+)
+
+// Term is the terminator of a basic block.
+type Term struct {
+	Op   TermOp
+	Cond int // register for TermIf
+	Then int // target block index
+	Else int // target block index for TermIf
+	Ret  int // return value register for TermReturn; -1 for void
+}
+
+// CodeSize returns the estimated machine-code size of the terminator.
+func (t Term) CodeSize() int {
+	switch t.Op {
+	case TermGoto:
+		return 5
+	case TermIf:
+		return 8
+	case TermReturn:
+		return 6
+	default:
+		return 5
+	}
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator. Blocks are identified by their index within the method.
+type Block struct {
+	Index  int
+	Instrs []Instr
+	Term   Term
+}

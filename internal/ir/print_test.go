@@ -1,0 +1,89 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder("dis")
+	b.Class(StringClass)
+	c := b.Class("D").Field("x", Int())
+	c.Static("s", Ref("D"))
+	m := c.StaticMethod("f", 1, Int())
+	e := m.Entry()
+	o := e.New("D")
+	k := e.ConstInt(7)
+	e.PutField(o, "D", "x", k)
+	v := e.GetField(o, "D", "x")
+	fl := e.ConstFloat(1.5)
+	e.FArith(Mul, fl, fl)
+	st := e.Str("lit")
+	e.Intrinsic(IntrinsicStrLen, st)
+	e.PutStatic("D", "s", o)
+	back := e.GetStatic("D", "s")
+	_ = back
+	n := e.ConstInt(2)
+	arr := e.NewArray(Int(), n)
+	e.ASet(arr, k, v)
+	got := e.AGet(arr, k)
+	e.ALen(arr)
+	cond := e.Cmp(Lt, got, v)
+	yes := m.NewBlock()
+	no := m.NewBlock()
+	e.If(cond, yes, no)
+	yes.Ret(v)
+	nl := no.Null()
+	_ = nl
+	no.CallVoid("D", "f", v)
+	no.Spawn("D.f", v)
+	no.RetVoid()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p.Class("D").DeclaredMethod("f"))
+	for _, want := range []string{
+		"D.f(1) [static,",
+		"b0:",
+		"new D",
+		"const.i 7",
+		"putfield r1.D.x = r2",
+		"getfield r1.D.x",
+		"farith mul",
+		`const.s "lit"`,
+		"intrinsic strlen(r6)",
+		"putstatic D.s = r1",
+		"getstatic D.s",
+		"newarray long[r9]",
+		"aset r10[r2] = r3",
+		"aget r10[r2]",
+		"alen r10",
+		"cmp lt",
+		"if r13 -> b1 else b2",
+		"ret r3",
+		"const.null",
+		"call D.f(r3)",
+		"intrinsic spawn D.f(r3)",
+		"ret\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleClinit(t *testing.T) {
+	b := NewBuilder("dis2")
+	c := b.Class("C")
+	cl := c.Clinit()
+	cl.Entry().RetVoid()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p.Class("C").Clinit())
+	if !strings.Contains(out, "[clinit,") {
+		t.Errorf("clinit marker missing:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+// Package ir defines the intermediate representation of the mini object
+// language compiled by the simulated Native-Image toolchain.
+//
+// The IR plays the role of Java bytecode/Graal IR in the paper: programs are
+// sets of classes with instance and static fields, virtual methods, and
+// static initializers. Method bodies are control-flow graphs of basic blocks
+// over a register machine. Workloads (internal/workloads) construct programs
+// through the builder DSL in this package; the compiler (internal/graal)
+// groups methods into compilation units; the interpreter (internal/vm)
+// executes them.
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TypeKind discriminates the kinds of IR types.
+type TypeKind uint8
+
+const (
+	// KInt is a 64-bit integer (also used for booleans: 0/1).
+	KInt TypeKind = iota
+	// KFloat is a 64-bit IEEE float.
+	KFloat
+	// KRef is a reference to an instance of a named class.
+	KRef
+	// KArray is a reference to an array with a fixed element type.
+	KArray
+	// KVoid is usable only as a method return type.
+	KVoid
+)
+
+// TypeRef names an IR type. TypeRefs are small values passed by copy.
+type TypeRef struct {
+	Kind TypeKind
+	// Name is the fully qualified class name for KRef types.
+	Name string
+	// Elem is the element type for KArray types.
+	Elem *TypeRef
+}
+
+// Int returns the 64-bit integer type.
+func Int() TypeRef { return TypeRef{Kind: KInt} }
+
+// Float returns the 64-bit float type.
+func Float() TypeRef { return TypeRef{Kind: KFloat} }
+
+// Void returns the void type.
+func Void() TypeRef { return TypeRef{Kind: KVoid} }
+
+// Ref returns the reference type for the class with the given fully
+// qualified name.
+func Ref(name string) TypeRef { return TypeRef{Kind: KRef, Name: name} }
+
+// Array returns the array type with the given element type.
+func Array(elem TypeRef) TypeRef {
+	e := elem
+	return TypeRef{Kind: KArray, Elem: &e}
+}
+
+// StringClass is the fully qualified name of the built-in string class.
+// String values are heap objects of this class, mirroring java.lang.String;
+// the identity strategies special-case it (Sec. 5.2, 5.3).
+const StringClass = "java.lang.String"
+
+// String returns the reference type of the built-in string class.
+func String() TypeRef { return Ref(StringClass) }
+
+// IsPrimitive reports whether the type is a primitive (int or float).
+func (t TypeRef) IsPrimitive() bool { return t.Kind == KInt || t.Kind == KFloat }
+
+// IsString reports whether the type is the built-in string class.
+func (t TypeRef) IsString() bool { return t.Kind == KRef && t.Name == StringClass }
+
+// FullyQualifiedName renders the type as the fully qualified name used by
+// the identity algorithms (Algorithms 2 and 3 hash these names).
+func (t TypeRef) FullyQualifiedName() string {
+	switch t.Kind {
+	case KInt:
+		return "long"
+	case KFloat:
+		return "double"
+	case KVoid:
+		return "void"
+	case KRef:
+		return t.Name
+	case KArray:
+		return t.Elem.FullyQualifiedName() + "[]"
+	default:
+		return "<invalid kind " + strconv.Itoa(int(t.Kind)) + ">"
+	}
+}
+
+// Equal reports structural type equality.
+func (t TypeRef) Equal(o TypeRef) bool {
+	if t.Kind != o.Kind || t.Name != o.Name {
+		return false
+	}
+	if t.Kind == KArray {
+		return t.Elem.Equal(*o.Elem)
+	}
+	return true
+}
+
+func (t TypeRef) String() string { return t.FullyQualifiedName() }
+
+func (t TypeRef) validate() error {
+	switch t.Kind {
+	case KInt, KFloat, KVoid:
+		return nil
+	case KRef:
+		if t.Name == "" {
+			return fmt.Errorf("ir: reference type with empty class name")
+		}
+		return nil
+	case KArray:
+		if t.Elem == nil {
+			return fmt.Errorf("ir: array type with nil element type")
+		}
+		if t.Elem.Kind == KVoid {
+			return fmt.Errorf("ir: array of void")
+		}
+		return t.Elem.validate()
+	default:
+		return fmt.Errorf("ir: invalid type kind %d", t.Kind)
+	}
+}

@@ -1,0 +1,149 @@
+// Package murmur implements MurmurHash3, the hash function used by the
+// structural-hash and heap-path object-identity strategies.
+//
+// The paper (Sec. 5.2) uses MurmurHash3 because it is fast, produces
+// well-distributed values, and is suited to finding matching byte arrays.
+// This package provides the x64 128-bit variant and a 64-bit convenience
+// digest (the low word of the 128-bit result), which is the width of the
+// object IDs exchanged between the instrumented and the optimized build.
+package murmur
+
+import "encoding/binary"
+
+const (
+	c1 = 0x87c37b91114253d5
+	c2 = 0x4cf5ad432745937f
+)
+
+// Sum128 computes the MurmurHash3 x64 128-bit hash of data with the given
+// seed and returns the two 64-bit words of the digest.
+func Sum128(data []byte, seed uint64) (uint64, uint64) {
+	h1, h2 := seed, seed
+	n := len(data)
+
+	// Body: process 16-byte blocks.
+	full := n / 16 * 16
+	for i := 0; i < full; i += 16 {
+		k1 := binary.LittleEndian.Uint64(data[i:])
+		k2 := binary.LittleEndian.Uint64(data[i+8:])
+
+		k1 *= c1
+		k1 = rotl(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+
+		h1 = rotl(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = rotl(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+
+		h2 = rotl(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	// Tail: up to 15 remaining bytes.
+	var k1, k2 uint64
+	tail := data[full:]
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2
+		k2 = rotl(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1
+		k1 = rotl(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	// Finalization.
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+
+	h1 += h2
+	h2 += h1
+
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+
+	h1 += h2
+	h2 += h1
+
+	return h1, h2
+}
+
+// Sum64 computes a 64-bit MurmurHash3 digest of data (the first word of the
+// x64 128-bit digest) with seed zero. This is the hash used for object IDs.
+func Sum64(data []byte) uint64 {
+	h1, _ := Sum128(data, 0)
+	return h1
+}
+
+// Sum64Seed is Sum64 with an explicit seed.
+func Sum64Seed(data []byte, seed uint64) uint64 {
+	h1, _ := Sum128(data, seed)
+	return h1
+}
+
+func rotl(x uint64, r uint) uint64 {
+	return x<<r | x>>(64-r)
+}
+
+// fmix64 is the MurmurHash3 64-bit finalizer; it forces avalanche on the
+// final hash words.
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}

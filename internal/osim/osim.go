@@ -1,0 +1,345 @@
+// Package osim simulates the operating-system behaviour the paper measures:
+// demand paging of a memory-mapped binary over a storage device.
+//
+// Native-Image binaries are mapped when the program starts; each page of the
+// .text and .svm_heap sections is lazily read on first access (Sec. 2). The
+// evaluation counts page faults attributed to each section by filtering fault
+// offsets (Sec. 7.1), runs on an SSD with 4 KiB pages, and drops the page
+// cache between iterations. Fig. 6 additionally distinguishes pages that
+// faulted from pages that were paged in by the OS without faulting — the
+// fault-around/readahead behaviour modelled here.
+package osim
+
+import (
+	"fmt"
+	"time"
+)
+
+// PageSize is the page size in bytes (the paper uses 4 KiB pages).
+const PageSize = 4096
+
+// Device describes a storage device backing the binary file.
+type Device struct {
+	Name string
+	// SeekLatency is the fixed cost of one read request (device latency,
+	// and for NFS a network round trip).
+	SeekLatency time.Duration
+	// PerPage is the additional transfer cost per 4 KiB page read.
+	PerPage time.Duration
+}
+
+// SSD models the local solid-state drive of the evaluation (Sec. 7.1).
+func SSD() Device {
+	return Device{Name: "ssd", SeekLatency: 90 * time.Microsecond, PerPage: 6 * time.Microsecond}
+}
+
+// NFS models the network file system alternative the paper reports as
+// yielding similar results (Sec. 7.1).
+func NFS() Device {
+	return Device{Name: "nfs", SeekLatency: 450 * time.Microsecond, PerPage: 18 * time.Microsecond}
+}
+
+// OS owns the page cache shared by all processes until caches are dropped.
+type OS struct {
+	Device Device
+	// FaultAround is the number of pages (aligned cluster) brought in and
+	// mapped around a faulting page, modelling Linux fault-around plus
+	// readahead. Must be a power of two.
+	FaultAround int
+	// AdaptiveReadahead enables Linux-style readahead escalation: when a
+	// mapping faults on the cluster immediately following its previous
+	// fault, the read window doubles (up to MaxReadahead pages). This
+	// rewards layouts whose access *order* matches the layout order — the
+	// Property-1 ordering of Sec. 4 — beyond mere compaction.
+	AdaptiveReadahead bool
+	// MaxReadahead caps the escalated window (pages).
+	MaxReadahead int
+
+	files []*File
+}
+
+// DefaultFaultAround is the default fault-around cluster size in pages.
+const DefaultFaultAround = 8
+
+// NewOS creates an OS with an empty page cache.
+func NewOS(dev Device) *OS {
+	return &OS{Device: dev, FaultAround: DefaultFaultAround, MaxReadahead: 32}
+}
+
+// Section is a named contiguous byte range of a file (e.g. ".text").
+type Section struct {
+	Name string
+	Off  int64
+	Len  int64
+}
+
+// Contains reports whether the file offset lies inside the section.
+func (s Section) Contains(off int64) bool { return off >= s.Off && off < s.Off+s.Len }
+
+// File is an on-"disk" file with a page-cache residency bitmap.
+type File struct {
+	os       *OS
+	Name     string
+	Size     int64
+	Sections []Section
+	resident []bool
+}
+
+// NewFile registers a file with the OS. Sections must not overlap.
+func (o *OS) NewFile(name string, size int64, sections []Section) (*File, error) {
+	for i, s := range sections {
+		if s.Off < 0 || s.Len < 0 || s.Off+s.Len > size {
+			return nil, fmt.Errorf("osim: section %s out of file bounds", s.Name)
+		}
+		for _, t := range sections[:i] {
+			if s.Off < t.Off+t.Len && t.Off < s.Off+s.Len {
+				return nil, fmt.Errorf("osim: sections %s and %s overlap", s.Name, t.Name)
+			}
+		}
+	}
+	f := &File{
+		os:       o,
+		Name:     name,
+		Size:     size,
+		Sections: sections,
+		resident: make([]bool, pagesFor(size)),
+	}
+	o.files = append(o.files, f)
+	return f, nil
+}
+
+// DropCaches evicts every clean page, like writing to
+// /proc/sys/vm/drop_caches between benchmark iterations (Sec. 7.1).
+func (o *OS) DropCaches() {
+	for _, f := range o.files {
+		for i := range f.resident {
+			f.resident[i] = false
+		}
+	}
+}
+
+// PageState classifies a page of a mapping for the Fig. 6 visualization.
+type PageState uint8
+
+const (
+	// PageUntouched: not mapped into the process (black cells of Fig. 6).
+	PageUntouched PageState = iota
+	// PageMappedNoFault: mapped by the OS via fault-around but never
+	// faulted by the process (red cells).
+	PageMappedNoFault
+	// PageFaulted: caused a page fault (green cells).
+	PageFaulted
+)
+
+// SectionFaults aggregates fault counts attributed to one section.
+type SectionFaults struct {
+	Section string
+	Major   int64 // faults that triggered device I/O
+	Minor   int64 // faults satisfied from the page cache
+}
+
+// Total returns major+minor faults — what `perf` reports as page-faults.
+func (s SectionFaults) Total() int64 { return s.Major + s.Minor }
+
+// Mapping is one process's memory map of a file. It tracks which pages are
+// mapped, which faulted, per-section fault counts, and accumulated I/O time.
+type Mapping struct {
+	file    *File
+	mapped  []bool
+	faulted []bool
+
+	// Faults counts all page faults taken through this mapping.
+	Faults int64
+	// MajorFaults counts faults that required device I/O.
+	MajorFaults int64
+	// IOTime is the accumulated simulated device time.
+	IOTime time.Duration
+
+	bySection []SectionFaults
+	other     SectionFaults
+
+	// Readahead escalation state (AdaptiveReadahead): lastEnd is the page
+	// index just past the previous read window; window the current size.
+	lastEnd int
+	window  int
+}
+
+// Map establishes a new mapping of the file (fresh virtual address space;
+// nothing mapped yet).
+func (f *File) Map() *Mapping {
+	m := &Mapping{
+		file:      f,
+		mapped:    make([]bool, len(f.resident)),
+		faulted:   make([]bool, len(f.resident)),
+		bySection: make([]SectionFaults, len(f.Sections)),
+	}
+	for i, s := range f.Sections {
+		m.bySection[i].Section = s.Name
+	}
+	m.other.Section = "<other>"
+	m.lastEnd = -1
+	return m
+}
+
+// Touch accesses one byte offset, faulting the page in if necessary.
+func (m *Mapping) Touch(off int64) {
+	if off < 0 || off >= m.file.Size {
+		panic(fmt.Sprintf("osim: touch offset %d outside file %q of size %d", off, m.file.Name, m.file.Size))
+	}
+	p := int(off / PageSize)
+	if m.mapped[p] {
+		return
+	}
+	// Page fault. Attribute it to the section containing the offset, the
+	// way the evaluation filters perf fault traces by section offsets.
+	m.Faults++
+	sf := &m.other
+	for i := range m.file.Sections {
+		if m.file.Sections[i].Contains(off) {
+			sf = &m.bySection[i]
+			break
+		}
+	}
+	m.faulted[p] = true
+	fa := m.file.os.FaultAround
+	if fa < 1 {
+		fa = 1
+	}
+	if m.file.resident[p] {
+		sf.Minor++
+	} else {
+		sf.Major++
+		m.MajorFaults++
+		// Read window: the aligned fault-around cluster, escalated when
+		// the fault continues right after the previous read window
+		// (AdaptiveReadahead — Linux readahead ramp-up).
+		window := fa
+		if m.file.os.AdaptiveReadahead {
+			if m.window < fa {
+				m.window = fa
+			}
+			if m.lastEnd >= 0 && p >= m.lastEnd && p < m.lastEnd+fa {
+				m.window *= 2
+				maxRA := m.file.os.MaxReadahead
+				if maxRA < fa {
+					maxRA = fa
+				}
+				if m.window > maxRA {
+					m.window = maxRA
+				}
+			} else {
+				m.window = fa
+			}
+			window = m.window
+		}
+		start := p / fa * fa
+		end := start + window
+		if end > len(m.file.resident) {
+			end = len(m.file.resident)
+		}
+		read := 0
+		for i := start; i < end; i++ {
+			if !m.file.resident[i] {
+				m.file.resident[i] = true
+				read++
+			}
+		}
+		m.lastEnd = end
+		dev := m.file.os.Device
+		m.IOTime += dev.SeekLatency + time.Duration(read)*dev.PerPage
+	}
+	// Fault-around: map the resident pages of the surrounding window
+	// without further faults (the red cells of Fig. 6).
+	around := fa
+	if m.file.os.AdaptiveReadahead && m.window > around {
+		around = m.window
+	}
+	start := p / fa * fa
+	end := start + around
+	if end > len(m.mapped) {
+		end = len(m.mapped)
+	}
+	for i := start; i < end; i++ {
+		if m.file.resident[i] {
+			m.mapped[i] = true
+		}
+	}
+	m.mapped[p] = true
+}
+
+// TouchRange accesses [off, off+n), faulting each covered page.
+func (m *Mapping) TouchRange(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	for p := first; p <= last; p++ {
+		m.Touch(p * PageSize)
+	}
+}
+
+// SectionFaults returns fault counts for the named section.
+func (m *Mapping) SectionFaults(name string) SectionFaults {
+	for _, sf := range m.bySection {
+		if sf.Section == name {
+			return sf
+		}
+	}
+	return SectionFaults{Section: name}
+}
+
+// AllSectionFaults returns the per-section fault counts in section order,
+// plus the catch-all bucket for offsets outside any section.
+func (m *Mapping) AllSectionFaults() []SectionFaults {
+	out := make([]SectionFaults, 0, len(m.bySection)+1)
+	out = append(out, m.bySection...)
+	return append(out, m.other)
+}
+
+// PageStates returns the per-page classification of the named section for
+// the Fig. 6 visualization, or nil if the section does not exist.
+func (m *Mapping) PageStates(section string) []PageState {
+	var sec *Section
+	for i := range m.file.Sections {
+		if m.file.Sections[i].Name == section {
+			sec = &m.file.Sections[i]
+			break
+		}
+	}
+	if sec == nil {
+		return nil
+	}
+	first := sec.Off / PageSize
+	last := (sec.Off + sec.Len - 1) / PageSize
+	out := make([]PageState, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		switch {
+		case m.faulted[p]:
+			out = append(out, PageFaulted)
+		case m.mapped[p]:
+			out = append(out, PageMappedNoFault)
+		default:
+			out = append(out, PageUntouched)
+		}
+	}
+	return out
+}
+
+// ResidentPages returns how many pages of the file are in the page cache.
+func (f *File) ResidentPages() int {
+	n := 0
+	for _, r := range f.resident {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+func pagesFor(size int64) int {
+	if size <= 0 {
+		return 0
+	}
+	return int((size + PageSize - 1) / PageSize)
+}

@@ -1,0 +1,107 @@
+package profiler
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nimage/internal/graal"
+)
+
+// Trace-file container format: magic, version, kind, mode, then one block
+// per thread (tid, word count, varint-encoded words). The cmd tools write
+// one file per profiling run; trace files from multiple threads of one run
+// share the container, mirroring the per-thread trace files of Sec. 6.1.
+const (
+	traceMagic   = "NTRC"
+	traceVersion = 1
+)
+
+// WriteTraces serializes thread traces to w.
+func WriteTraces(w io.Writer, kind graal.Instrumentation, mode DumpMode, traces []ThreadTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	hdr[0] = traceVersion
+	hdr[1] = byte(kind)
+	hdr[2] = byte(mode)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(traces))); err != nil {
+		return err
+	}
+	for _, tr := range traces {
+		if err := putUvarint(uint64(tr.TID)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(tr.Words))); err != nil {
+			return err
+		}
+		for _, word := range tr.Words {
+			if err := putUvarint(word); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraces deserializes thread traces from r.
+func ReadTraces(r io.Reader) (graal.Instrumentation, DumpMode, []ThreadTrace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(traceMagic)+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, 0, nil, fmt.Errorf("profiler: reading trace header: %w", err)
+	}
+	if string(head[:4]) != traceMagic {
+		return 0, 0, nil, fmt.Errorf("profiler: bad trace magic %q", head[:4])
+	}
+	if head[4] != traceVersion {
+		return 0, 0, nil, fmt.Errorf("profiler: unsupported trace version %d", head[4])
+	}
+	kind := graal.Instrumentation(head[5])
+	mode := DumpMode(head[6])
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("profiler: reading trace count: %w", err)
+	}
+	if n > 1<<20 {
+		return 0, 0, nil, fmt.Errorf("profiler: implausible thread count %d", n)
+	}
+	traces := make([]ThreadTrace, 0, n)
+	for i := uint64(0); i < n; i++ {
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("profiler: reading tid: %w", err)
+		}
+		words, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("profiler: reading word count: %w", err)
+		}
+		if words > 1<<32 {
+			return 0, 0, nil, fmt.Errorf("profiler: implausible trace size %d", words)
+		}
+		tr := ThreadTrace{TID: int(tid)}
+		if words > 0 {
+			tr.Words = make([]uint64, words)
+		}
+		for j := range tr.Words {
+			tr.Words[j], err = binary.ReadUvarint(br)
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("profiler: reading word %d of thread %d: %w", j, tid, err)
+			}
+		}
+		traces = append(traces, tr)
+	}
+	return kind, mode, traces, nil
+}

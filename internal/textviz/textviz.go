@@ -1,0 +1,117 @@
+// Package textviz renders the Fig. 6-style page-grid visualization: each
+// cell is one page of a binary section, classified as faulted (green cells
+// in the paper), mapped-without-fault (red cells — paged in by the OS via
+// fault-around), or untouched (black cells).
+//
+// Two renderers are provided: an ANSI/ASCII grid for terminals and a PPM
+// image for files, plus a summary line. The visualization shows how the cu
+// strategy compacts the executed code into the front of .text (Fig. 6b).
+package textviz
+
+import (
+	"fmt"
+	"strings"
+
+	"nimage/internal/osim"
+)
+
+// Cell glyphs of the ASCII rendering.
+const (
+	cellUntouched = '.'
+	cellMapped    = 'o'
+	cellFaulted   = '#'
+)
+
+// Grid renders the page states as an ASCII grid with the given row width.
+// Legend: '#' faulted, 'o' mapped without fault, '.' untouched.
+func Grid(states []osim.PageState, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	var sb strings.Builder
+	for i, st := range states {
+		switch st {
+		case osim.PageFaulted:
+			sb.WriteByte(cellFaulted)
+		case osim.PageMappedNoFault:
+			sb.WriteByte(cellMapped)
+		default:
+			sb.WriteByte(cellUntouched)
+		}
+		if (i+1)%width == 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	if len(states)%width != 0 {
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Summary returns the counts behind a grid.
+func Summary(states []osim.PageState) (faulted, mapped, untouched int) {
+	for _, st := range states {
+		switch st {
+		case osim.PageFaulted:
+			faulted++
+		case osim.PageMappedNoFault:
+			mapped++
+		default:
+			untouched++
+		}
+	}
+	return
+}
+
+// SideBySide renders two grids with titles and summaries, the layout of
+// Fig. 6 (regular binary vs cu-optimized binary).
+func SideBySide(titleA string, a []osim.PageState, titleB string, b []osim.PageState, width int) string {
+	var sb strings.Builder
+	render := func(title string, st []osim.PageState) {
+		f, m, u := Summary(st)
+		fmt.Fprintf(&sb, "%s — %d pages: %d faulted (#), %d mapped w/o fault (o), %d untouched (.)\n",
+			title, len(st), f, m, u)
+		sb.WriteString(Grid(st, width))
+	}
+	render(titleA, a)
+	sb.WriteByte('\n')
+	render(titleB, b)
+	return sb.String()
+}
+
+// PPM renders the page states as a binary-free plain (P3) PPM image with
+// the paper's color scheme: green = faulted, red = mapped without fault,
+// black = untouched. scale is the pixel size of one cell.
+func PPM(states []osim.PageState, width, scale int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if scale <= 0 {
+		scale = 4
+	}
+	rows := (len(states) + width - 1) / width
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "P3\n%d %d\n255\n", width*scale, rows*scale)
+	colorOf := func(x, y int) (int, int, int) {
+		idx := y*width + x
+		if idx >= len(states) {
+			return 0, 0, 0
+		}
+		switch states[idx] {
+		case osim.PageFaulted:
+			return 40, 180, 60
+		case osim.PageMappedNoFault:
+			return 200, 50, 40
+		default:
+			return 10, 10, 10
+		}
+	}
+	for py := 0; py < rows*scale; py++ {
+		for px := 0; px < width*scale; px++ {
+			r, g, b := colorOf(px/scale, py/scale)
+			fmt.Fprintf(&sb, "%d %d %d ", r, g, b)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package textviz
+
+import (
+	"strings"
+	"testing"
+
+	"nimage/internal/osim"
+)
+
+func sample() []osim.PageState {
+	return []osim.PageState{
+		osim.PageFaulted, osim.PageMappedNoFault, osim.PageUntouched,
+		osim.PageFaulted, osim.PageFaulted, osim.PageUntouched,
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(sample(), 3)
+	want := "#o.\n##.\n"
+	if g != want {
+		t.Errorf("Grid = %q, want %q", g, want)
+	}
+	// Non-multiple length gets a trailing newline.
+	g2 := Grid(sample()[:4], 3)
+	if !strings.HasSuffix(g2, "\n") || strings.Count(g2, "\n") != 2 {
+		t.Errorf("Grid partial row = %q", g2)
+	}
+	// Zero width falls back to the default.
+	if Grid(sample(), 0) == "" {
+		t.Error("default width broken")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	f, m, u := Summary(sample())
+	if f != 3 || m != 1 || u != 2 {
+		t.Errorf("Summary = %d,%d,%d", f, m, u)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	out := SideBySide("A", sample(), "B", sample()[:3], 3)
+	for _, want := range []string{"A — 6 pages: 3 faulted", "B — 3 pages: 1 faulted", "#o.\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SideBySide missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPPM(t *testing.T) {
+	img := PPM(sample(), 3, 2)
+	if !strings.HasPrefix(img, "P3\n6 4\n255\n") {
+		t.Fatalf("PPM header: %q", img[:20])
+	}
+	// Faulted cell renders green (40 180 60), untouched near-black.
+	if !strings.Contains(img, "40 180 60") {
+		t.Error("no green pixel for faulted page")
+	}
+	if !strings.Contains(img, "200 50 40") {
+		t.Error("no red pixel for mapped page")
+	}
+	// Pixel count: width*scale per row, rows*scale rows.
+	lines := strings.Split(strings.TrimSpace(img), "\n")
+	if len(lines) != 3+4 {
+		t.Errorf("PPM rows = %d", len(lines)-3)
+	}
+}
+
+func TestPPMDefaults(t *testing.T) {
+	img := PPM(sample(), 0, 0)
+	if !strings.HasPrefix(img, "P3\n256 4\n") {
+		t.Errorf("default sizing header: %q", img[:12])
+	}
+}

@@ -1,0 +1,122 @@
+package vm
+
+import (
+	"nimage/internal/heap"
+	"nimage/internal/ir"
+)
+
+// journal records mutations of build-time state (snapshot objects, statics,
+// intern table) so that a run can be rolled back, leaving the image pristine
+// for the next benchmark iteration. The evaluation runs each built image
+// several times (Sec. 7.1); rolling back is the simulator's equivalent of
+// starting a fresh process over the same binary file.
+type journal struct {
+	fieldWrites  []fieldWrite
+	elemWrites   []elemWrite
+	staticWrites []staticWrite
+	internAdds   []string
+	seenField    map[fieldKey]bool
+	seenElem     map[elemKey]bool
+	seenStatic   map[*ir.Field]bool
+}
+
+type fieldKey struct {
+	o    *heap.Object
+	slot int
+}
+type elemKey struct {
+	o   *heap.Object
+	idx int
+}
+
+type fieldWrite struct {
+	o    *heap.Object
+	f    *ir.Field
+	prev heap.Value
+}
+type elemWrite struct {
+	o    *heap.Object
+	idx  int
+	prev heap.Value
+}
+type staticWrite struct {
+	f    *ir.Field
+	prev heap.Value
+}
+
+// EnableJournal starts recording mutations of pre-existing heap state.
+// Writes to objects allocated after this call are not journaled (they are
+// garbage after the run anyway).
+func (m *Machine) EnableJournal() {
+	m.journal = &journal{
+		seenField:  make(map[fieldKey]bool),
+		seenElem:   make(map[elemKey]bool),
+		seenStatic: make(map[*ir.Field]bool),
+	}
+}
+
+// Rollback undoes every journaled mutation in reverse order and stops
+// journaling.
+func (m *Machine) Rollback() {
+	j := m.journal
+	if j == nil {
+		return
+	}
+	m.journal = nil
+	for i := len(j.fieldWrites) - 1; i >= 0; i-- {
+		w := j.fieldWrites[i]
+		w.o.SetField(w.f, w.prev)
+	}
+	for i := len(j.elemWrites) - 1; i >= 0; i-- {
+		w := j.elemWrites[i]
+		w.o.SetElem(w.idx, w.prev)
+	}
+	for i := len(j.staticWrites) - 1; i >= 0; i-- {
+		w := j.staticWrites[i]
+		m.Statics.Set(w.f, w.prev)
+	}
+	if m.Interns != nil {
+		m.Interns.Remove(j.internAdds)
+	}
+}
+
+// recordFieldWrite journals the first overwrite of a snapshot object field.
+func (m *Machine) recordFieldWrite(o *heap.Object, f *ir.Field) {
+	j := m.journal
+	if j == nil || !o.InSnapshot {
+		return
+	}
+	k := fieldKey{o, f.Slot}
+	if j.seenField[k] {
+		return
+	}
+	j.seenField[k] = true
+	j.fieldWrites = append(j.fieldWrites, fieldWrite{o: o, f: f, prev: o.GetField(f)})
+}
+
+// recordElemWrite journals the first overwrite of a snapshot array element.
+func (m *Machine) recordElemWrite(o *heap.Object, idx int) {
+	j := m.journal
+	if j == nil || !o.InSnapshot {
+		return
+	}
+	k := elemKey{o, idx}
+	if j.seenElem[k] {
+		return
+	}
+	j.seenElem[k] = true
+	j.elemWrites = append(j.elemWrites, elemWrite{o: o, idx: idx, prev: o.GetElem(idx)})
+}
+
+// recordStaticWrite journals the first overwrite of a static field.
+func (m *Machine) recordStaticWrite(f *ir.Field) {
+	j := m.journal
+	if j == nil {
+		return
+	}
+	if j.seenStatic[f] {
+		return
+	}
+	j.seenStatic[f] = true
+	j.staticWrites = append(j.staticWrites, staticWrite{f: f, prev: m.Statics.Get(f)})
+}

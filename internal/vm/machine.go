@@ -1,0 +1,331 @@
+// Package vm interprets IR programs deterministically.
+//
+// The interpreter serves two roles in the toolchain, mirroring the paper:
+// at image build time it executes the class initializers of reachable
+// classes to populate the initial heap (Sec. 2), and at "runtime" it
+// executes the binary while the hooks report the events the instrumented
+// image would trace — compilation-unit entries, method entries, executed
+// blocks, and heap-object accesses (Sec. 6.1) — and the events the loaded
+// image turns into page touches.
+//
+// Multi-threaded workloads (the microservice benchmarks) run under a
+// deterministic round-robin scheduler, so measurements are reproducible.
+package vm
+
+import (
+	"fmt"
+
+	"nimage/internal/heap"
+	"nimage/internal/ir"
+)
+
+// Hooks receive execution events. Any hook may be nil.
+type Hooks struct {
+	// InlineOf reports whether a call to callee from code compiled into the
+	// CU rooted at ctx executes inlined (inside ctx's CU) rather than
+	// entering callee's own CU. When nil, no call is treated as inlined.
+	InlineOf func(ctx, callee *ir.Method) bool
+	// OnEnterCU fires when control enters the compilation unit rooted at
+	// root via a non-inlined call (including thread entry points). tid is
+	// the executing thread.
+	OnEnterCU func(tid int, root *ir.Method)
+	// OnMethodEnter fires on every method invocation, inlined or not.
+	OnMethodEnter func(tid int, m *ir.Method)
+	// OnMethodExit fires when a method returns.
+	OnMethodExit func(tid int, m *ir.Method)
+	// OnBlock fires when a basic block of m begins executing.
+	OnBlock func(tid int, m *ir.Method, block int)
+	// OnAccess fires when object o is touched. instr is true for explicit
+	// field/array access instructions — the events the heap-ordering
+	// instrumentation records (Sec. 6.1) — and false for implicit touches
+	// (intrinsics reading string contents), which fault pages but carry no
+	// statically countable probe.
+	OnAccess func(tid int, o *heap.Object, instr bool)
+	// OnNew fires when an instance of c is allocated. The loaded image uses
+	// it to touch the class's metadata (hub) object in the heap snapshot,
+	// the way compiled allocation code reads the hub word.
+	OnNew func(tid int, c *ir.Class)
+	// OnRespond fires when the workload executes the respond intrinsic
+	// (first external response of a microservice, Sec. 7.1).
+	OnRespond func()
+}
+
+// Simulated cost model (cycle units; see CycleNanos).
+const (
+	costInstr     = 1
+	costCall      = 7
+	costAlloc     = 12
+	costAccess    = 2
+	costIntrinsic = 5
+)
+
+// CycleNanos converts cycle units to nanoseconds of simulated CPU time
+// (roughly a 2.5 GHz in-order machine).
+const CycleNanos = 0.4
+
+// Machine executes one program. Zero-value fields get defaults in New.
+type Machine struct {
+	Prog    *ir.Program
+	Statics *heap.Statics
+	Interns *heap.Interns
+	Hooks   Hooks
+
+	// BuildSalt seeds the buildsalt intrinsic; every image build uses a
+	// different salt, modelling build-dependent values captured by class
+	// initializers (one of the heap-divergence sources of Sec. 2).
+	BuildSalt uint64
+	// IntArgs are the program arguments read by the arg intrinsic.
+	IntArgs []int64
+	// MaxSteps aborts runaway executions.
+	MaxSteps int64
+	// Quantum is the scheduler time slice in instructions.
+	Quantum int
+	// StopOnRespond stops all threads at the first respond intrinsic (the
+	// harness then "SIGKILLs" the workload, Sec. 7.1).
+	StopOnRespond bool
+	// AutoClinit triggers class initializers on first static access,
+	// allocation, or static call (JVM semantics). The image builder
+	// enables it during build-time initialization, so the seeded shuffle
+	// of the explicit initialization order can never run a dependent
+	// initializer before its dependencies.
+	AutoClinit bool
+
+	// Steps counts executed instructions; Cycles accumulates the cost
+	// model. CyclesAtRespond snapshots Cycles at the first response.
+	Steps           int64
+	Cycles          int64
+	Responded       bool
+	CyclesAtRespond int64
+
+	stringClass *ir.Class
+	clinitDone  map[*ir.Class]bool
+	saltCtr     uint64
+	stop        bool
+	threads     []*thread
+	nextTID     int
+	journal     *journal
+	lastResult  heap.Value
+}
+
+// New creates a machine over a resolved program with fresh statics and
+// intern table.
+func New(prog *ir.Program) *Machine {
+	m := &Machine{
+		Prog:    prog,
+		Statics: heap.NewStatics(),
+	}
+	m.stringClass = prog.Class(ir.StringClass)
+	if m.stringClass != nil {
+		m.Interns = heap.NewInterns(m.stringClass)
+	}
+	m.MaxSteps = 200_000_000
+	m.Quantum = 400
+	m.clinitDone = make(map[*ir.Class]bool)
+	return m
+}
+
+// ensureInit pushes the pending class initializers of c (superclasses
+// first) onto thread t and reports whether any were pushed. The caller
+// must re-execute the triggering instruction afterwards.
+func (m *Machine) ensureInit(t *thread, c *ir.Class) bool {
+	var pending []*ir.Method
+	for k := c; k != nil; k = k.Super {
+		if m.clinitDone[k] {
+			break
+		}
+		m.clinitDone[k] = true
+		if cl := k.Clinit(); cl != nil {
+			pending = append(pending, cl)
+		}
+	}
+	if len(pending) == 0 {
+		return false
+	}
+	// Push subclass initializers first so superclass initializers end up
+	// on top of the stack and run first.
+	for _, cl := range pending {
+		nf := &frame{
+			m:      cl,
+			ctx:    cl,
+			regs:   make([]heap.Value, cl.NumRegs),
+			retReg: int(ir.NoReg),
+		}
+		for i := range nf.regs {
+			nf.regs[i] = heap.Null()
+		}
+		t.frames = append(t.frames, nf)
+		if m.Hooks.OnMethodEnter != nil {
+			m.Hooks.OnMethodEnter(t.id, cl)
+		}
+		if m.Hooks.OnBlock != nil {
+			m.Hooks.OnBlock(t.id, cl, 0)
+		}
+	}
+	return true
+}
+
+// RunClassInit runs the class initializer of c (and transitively of its
+// superclasses) unless it already ran; used by the image builder for the
+// explicit build-time initialization sequence.
+func (m *Machine) RunClassInit(c *ir.Class) error {
+	t := &thread{id: -1}
+	if !m.ensureInit(t, c) {
+		return nil
+	}
+	m.threads = append(m.threads, t)
+	return m.schedule()
+}
+
+// SimTimeNanos returns the simulated CPU time in nanoseconds.
+func (m *Machine) SimTimeNanos() float64 { return float64(m.Cycles) * CycleNanos }
+
+// RespondTimeNanos returns the simulated CPU time at the first response.
+func (m *Machine) RespondTimeNanos() float64 { return float64(m.CyclesAtRespond) * CycleNanos }
+
+type frame struct {
+	m      *ir.Method
+	ctx    *ir.Method // root of the CU whose compiled code is executing
+	regs   []heap.Value
+	block  int
+	ip     int
+	retReg int // destination register in the caller (NoReg if discarded)
+}
+
+type thread struct {
+	id     int
+	frames []*frame
+	done   bool
+}
+
+// trap is an execution error with location context.
+type trap struct {
+	msg string
+	m   *ir.Method
+	blk int
+	ip  int
+}
+
+func (t *trap) Error() string {
+	return fmt.Sprintf("vm: %s at %s block %d ip %d", t.msg, t.m.Signature(), t.blk, t.ip)
+}
+
+func (m *Machine) trapf(f *frame, format string, args ...any) error {
+	return &trap{msg: fmt.Sprintf(format, args...), m: f.m, blk: f.block, ip: f.ip}
+}
+
+// RunProgram executes the program entry under the deterministic scheduler
+// until every thread finishes, a respond event stops the run (if
+// StopOnRespond), or the step budget is exhausted.
+func (m *Machine) RunProgram(args ...int64) error {
+	entry := m.Prog.Entry()
+	if entry == nil {
+		return fmt.Errorf("vm: program %s has no entry point", m.Prog.Name)
+	}
+	m.IntArgs = args
+	m.spawnThread(entry, nil)
+	return m.schedule()
+}
+
+// RunMethod executes a single static method to completion on a fresh main
+// thread (used for build-time class initializers) and returns its result.
+func (m *Machine) RunMethod(target *ir.Method, args ...heap.Value) (heap.Value, error) {
+	if !target.Static {
+		return heap.Null(), fmt.Errorf("vm: RunMethod target %s is not static", target.Signature())
+	}
+	t := m.spawnThread(target, args)
+	if err := m.schedule(); err != nil {
+		return heap.Null(), err
+	}
+	_ = t
+	return m.lastResult, nil
+}
+
+func (m *Machine) spawnThread(entry *ir.Method, args []heap.Value) *thread {
+	f := &frame{
+		m:      entry,
+		ctx:    entry,
+		regs:   make([]heap.Value, entry.NumRegs),
+		retReg: int(ir.NoReg),
+	}
+	for i := range f.regs {
+		f.regs[i] = heap.Null()
+	}
+	copy(f.regs, args)
+	t := &thread{id: m.nextTID, frames: []*frame{f}}
+	m.nextTID++
+	m.threads = append(m.threads, t)
+	if m.Hooks.OnEnterCU != nil {
+		m.Hooks.OnEnterCU(t.id, entry)
+	}
+	if m.Hooks.OnMethodEnter != nil {
+		m.Hooks.OnMethodEnter(t.id, entry)
+	}
+	if m.Hooks.OnBlock != nil {
+		m.Hooks.OnBlock(t.id, entry, 0)
+	}
+	return t
+}
+
+// schedule runs all threads round-robin until completion or stop.
+func (m *Machine) schedule() error {
+	for {
+		live := 0
+		progressed := false
+		for _, t := range m.threads {
+			if t.done {
+				continue
+			}
+			live++
+			if err := m.runQuantum(t); err != nil {
+				return err
+			}
+			progressed = true
+			if m.stop {
+				m.finish()
+				return nil
+			}
+		}
+		if live == 0 {
+			m.finish()
+			return nil
+		}
+		if !progressed {
+			return fmt.Errorf("vm: scheduler made no progress with %d live threads", live)
+		}
+		if m.Steps > m.MaxSteps {
+			return fmt.Errorf("vm: step budget %d exhausted (livelock?)", m.MaxSteps)
+		}
+	}
+}
+
+func (m *Machine) finish() {
+	// Drop finished thread bookkeeping; the machine can be reused for a
+	// further RunMethod (build-time clinit sequences do this).
+	m.threads = m.threads[:0]
+	m.stop = false
+}
+
+// runQuantum executes up to Quantum instructions on thread t.
+func (m *Machine) runQuantum(t *thread) error {
+	for n := 0; n < m.Quantum; n++ {
+		if len(t.frames) == 0 {
+			t.done = true
+			return nil
+		}
+		if m.stop {
+			return nil
+		}
+		yielded, err := m.step(t)
+		if err != nil {
+			return err
+		}
+		m.Steps++
+		if m.Steps > m.MaxSteps {
+			return fmt.Errorf("vm: step budget %d exhausted in %s", m.MaxSteps, m.Prog.Name)
+		}
+		if yielded {
+			return nil
+		}
+	}
+	return nil
+}

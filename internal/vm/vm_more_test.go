@@ -1,0 +1,382 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"nimage/internal/heap"
+	"nimage/internal/ir"
+)
+
+// runExpr builds a single static method from fill and runs it.
+func runExpr(t *testing.T, returns ir.TypeRef, fill func(mb *ir.MethodBuilder, e *ir.BlockBuilder)) (heap.Value, error) {
+	t.Helper()
+	b := ir.NewBuilder("expr")
+	b.Class(ir.StringClass)
+	b.Class("Aux").Field("x", ir.Int())
+	c := b.Class("E")
+	mb := c.StaticMethod("run", 0, returns)
+	fill(mb, mb.Entry())
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	return m.RunMethod(p.Class("E").DeclaredMethod("run"))
+}
+
+func TestIntrinsicStringOps(t *testing.T) {
+	v, err := runExpr(t, ir.Int(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		s := e.Str("native")
+		i := e.Str("image")
+		both := e.Intrinsic(ir.IntrinsicConcat, s, i)
+		// strchar('nativeimage'[6]) == 'i'
+		six := e.ConstInt(6)
+		ch := e.Intrinsic(ir.IntrinsicStrChar, both, six)
+		same := e.Str("nativeimage")
+		eq := e.Intrinsic(ir.IntrinsicStrEq, both, same)
+		hundred := e.ConstInt(100)
+		score := e.Arith(ir.Mul, eq, hundred)
+		e.Ret(e.Arith(ir.Add, ch, score))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != int64('i')+100 {
+		t.Errorf("got %d", v.Int())
+	}
+}
+
+func TestIntrinsicItoaAndHash(t *testing.T) {
+	v, err := runExpr(t, ir.Int(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		n := e.ConstInt(-123)
+		s := e.Intrinsic(ir.IntrinsicItoa, n)
+		want := e.Str("-123")
+		eq := e.Intrinsic(ir.IntrinsicStrEq, s, want)
+		h1 := e.Intrinsic(ir.IntrinsicStrHash, s)
+		h2 := e.Intrinsic(ir.IntrinsicStrHash, want)
+		same := e.Cmp(ir.Eq, h1, h2)
+		e.Ret(e.Arith(ir.And, eq, same))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 1 {
+		t.Error("itoa/strhash mismatch")
+	}
+}
+
+func TestStrCharOutOfRangeTraps(t *testing.T) {
+	_, err := runExpr(t, ir.Int(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		s := e.Str("ab")
+		five := e.ConstInt(5)
+		e.Ret(e.Intrinsic(ir.IntrinsicStrChar, s, five))
+	})
+	if err == nil || !strings.Contains(err.Error(), "strchar index") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIntrinsicOnNonStringTraps(t *testing.T) {
+	_, err := runExpr(t, ir.Int(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		o := e.New("Aux")
+		e.Ret(e.Intrinsic(ir.IntrinsicStrLen, o))
+	})
+	if err == nil || !strings.Contains(err.Error(), "not a string") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownIntrinsicTraps(t *testing.T) {
+	_, err := runExpr(t, ir.Int(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		e.Ret(e.Intrinsic("frobnicate"))
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown intrinsic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPrintNullIsHarmless(t *testing.T) {
+	_, err := runExpr(t, ir.Void(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		n := e.Null()
+		e.IntrinsicVoid(ir.IntrinsicPrint, n)
+		e.RetVoid()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversionsAndFloatCompare(t *testing.T) {
+	v, err := runExpr(t, ir.Int(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		f := e.ConstFloat(2.9)
+		i := e.FloatToInt(f) // truncates to 2
+		fi := e.IntToFloat(i)
+		lt := e.Cmp(ir.Lt, fi, f) // 2.0 < 2.9
+		ten := e.ConstInt(10)
+		s := e.Arith(ir.Mul, lt, ten)
+		e.Ret(e.Arith(ir.Add, s, i))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 12 {
+		t.Errorf("got %d", v.Int())
+	}
+}
+
+func TestFloatRemAndMixedCompare(t *testing.T) {
+	v, err := runExpr(t, ir.Float(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		a := e.ConstFloat(7.5)
+		b := e.ConstFloat(2.0)
+		e.Ret(e.FArith(ir.Rem, a, b))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 1.5 {
+		t.Errorf("7.5 mod 2 = %v", v.Float())
+	}
+}
+
+func TestShiftOperators(t *testing.T) {
+	v, err := runExpr(t, ir.Int(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		one := e.ConstInt(1)
+		ten := e.ConstInt(10)
+		big := e.Arith(ir.Shl, one, ten) // 1024
+		two := e.ConstInt(2)
+		e.Ret(e.Arith(ir.Shr, big, two)) // 256
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 256 {
+		t.Errorf("got %d", v.Int())
+	}
+}
+
+func TestRefEqualityCompare(t *testing.T) {
+	v, err := runExpr(t, ir.Int(), func(mb *ir.MethodBuilder, e *ir.BlockBuilder) {
+		a := e.New("Aux")
+		b2 := e.New("Aux")
+		same := e.Cmp(ir.Eq, a, a)
+		diff := e.Cmp(ir.Ne, a, b2)
+		e.Ret(e.Arith(ir.And, same, diff))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 1 {
+		t.Error("reference comparison broken")
+	}
+}
+
+func TestSpawnBadTargetTraps(t *testing.T) {
+	b := ir.NewBuilder("badspawn")
+	b.Class(ir.StringClass)
+	c := b.Class("S")
+	// The spawn target is resolved at runtime; reference a real method for
+	// reachability but spawn a bogus name.
+	w := c.StaticMethod("work", 0, ir.Void())
+	w.Entry().RetVoid()
+	mb := c.StaticMethod("main", 0, ir.Void())
+	e := mb.Entry()
+	e.Spawn("S.missing")
+	e.RetVoid()
+	b.SetEntry("S", "main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if err := m.RunProgram(); err == nil || !strings.Contains(err.Error(), "spawn target") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAutoClinitRunsSuperFirst(t *testing.T) {
+	b := ir.NewBuilder("order")
+	b.Class(ir.StringClass)
+	log := b.Class("Log")
+	log.Static("seq", ir.Int())
+
+	base := b.Class("Base")
+	base.Static("b", ir.Int())
+	bc := base.Clinit()
+	be := bc.Entry()
+	cur := be.GetStatic("Log", "seq")
+	ten := be.ConstInt(10)
+	nv := be.Arith(ir.Mul, cur, ten)
+	one := be.ConstInt(1)
+	be.PutStatic("Log", "seq", be.Arith(ir.Add, nv, one))
+	be.RetVoid()
+
+	sub := b.Class("Sub").Extends("Base")
+	sub.Static("s", ir.Int())
+	sc := sub.Clinit()
+	se := sc.Entry()
+	cur2 := se.GetStatic("Log", "seq")
+	ten2 := se.ConstInt(10)
+	nv2 := se.Arith(ir.Mul, cur2, ten2)
+	two := se.ConstInt(2)
+	se.PutStatic("Log", "seq", se.Arith(ir.Add, nv2, two))
+	se.RetVoid()
+
+	main := b.Class("Main")
+	mm := main.StaticMethod("main", 0, ir.Void())
+	e := mm.Entry()
+	e.New("Sub") // triggers Sub init, which must run Base's first
+	e.RetVoid()
+	b.SetEntry("Main", "main")
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	m.AutoClinit = true
+	if err := m.RunProgram(); err != nil {
+		t.Fatal(err)
+	}
+	// Base appends 1, then Sub appends 2: sequence 12.
+	if got := m.Statics.Get(p.Class("Log").LookupStatic("seq")).Int(); got != 12 {
+		t.Errorf("init sequence = %d, want 12 (super first)", got)
+	}
+}
+
+func TestAutoClinitRunsOnce(t *testing.T) {
+	b := ir.NewBuilder("once")
+	b.Class(ir.StringClass)
+	c := b.Class("C")
+	c.Static("n", ir.Int())
+	cl := c.Clinit()
+	ce := cl.Entry()
+	cur := ce.GetStatic("C", "n")
+	one := ce.ConstInt(1)
+	ce.PutStatic("C", "n", ce.Arith(ir.Add, cur, one))
+	ce.RetVoid()
+	main := b.Class("Main")
+	mm := main.StaticMethod("main", 0, ir.Void())
+	e := mm.Entry()
+	e.New("C")
+	e.New("C")
+	e.GetStatic("C", "n")
+	e.RetVoid()
+	b.SetEntry("Main", "main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	m.AutoClinit = true
+	if err := m.RunProgram(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Statics.Get(p.Class("C").LookupStatic("n")).Int(); got != 1 {
+		t.Errorf("clinit ran %d times", got)
+	}
+}
+
+func TestVirtualCallOnArrayTraps(t *testing.T) {
+	b := ir.NewBuilder("varr")
+	b.Class(ir.StringClass)
+	c := b.Class("V")
+	vm0 := c.Method("m", 0, ir.Void())
+	vm0.Entry().RetVoid()
+	mb := c.StaticMethod("main", 0, ir.Void())
+	e := mb.Entry()
+	one := e.ConstInt(1)
+	arr := e.NewArray(ir.Int(), one)
+	e.CallVirtVoid("V", "m", arr)
+	e.RetVoid()
+	b.SetEntry("V", "main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if err := m.RunProgram(); err == nil || !strings.Contains(err.Error(), "on array") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArgIntrinsic(t *testing.T) {
+	b := ir.NewBuilder("args")
+	b.Class(ir.StringClass)
+	c := b.Class("A")
+	mb := c.StaticMethod("main", 0, ir.Void())
+	e := mb.Entry()
+	one := e.ConstInt(1)
+	v := e.Intrinsic(ir.IntrinsicArg, one)
+	e.PutStatic("A", "got", v)
+	e.RetVoid()
+	c.Static("got", ir.Int())
+	b.SetEntry("A", "main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if err := m.RunProgram(7, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Statics.Get(p.Class("A").LookupStatic("got")).Int(); got != 42 {
+		t.Errorf("arg(1) = %d", got)
+	}
+}
+
+func TestYieldRotatesThreads(t *testing.T) {
+	// Two threads that yield after every append interleave finely; the
+	// recorded pattern must alternate rather than run in whole quanta.
+	b := ir.NewBuilder("yield")
+	b.Class(ir.StringClass)
+	c := b.Class("Y")
+	c.Static("log", ir.Array(ir.Int()))
+	c.Static("pos", ir.Int())
+
+	w := c.StaticMethod("work", 1, ir.Void())
+	we := w.Entry()
+	zero := we.ConstInt(0)
+	n := we.ConstInt(6)
+	exit := we.For(zero, n, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		arr := body.GetStatic("Y", "log")
+		pos := body.GetStatic("Y", "pos")
+		body.ASet(arr, pos, w.Param(0))
+		one := body.ConstInt(1)
+		body.PutStatic("Y", "pos", body.Arith(ir.Add, pos, one))
+		body.IntrinsicVoid(ir.IntrinsicYield)
+		return body
+	})
+	exit.RetVoid()
+
+	main := b.Class("Main")
+	mm := main.StaticMethod("main", 0, ir.Void())
+	e := mm.Entry()
+	sz := e.ConstInt(16)
+	arr := e.NewArray(ir.Int(), sz)
+	e.PutStatic("Y", "log", arr)
+	one := e.ConstInt(1)
+	two := e.ConstInt(2)
+	e.Spawn("Y.work", one)
+	e.Spawn("Y.work", two)
+	e.RetVoid()
+	b.SetEntry("Main", "main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if err := m.RunProgram(); err != nil {
+		t.Fatal(err)
+	}
+	arrObj := m.Statics.Get(p.Class("Y").LookupStatic("log")).Ref
+	switches := 0
+	for i := 1; i < 12; i++ {
+		if arrObj.GetElem(i).Int() != arrObj.GetElem(i-1).Int() {
+			switches++
+		}
+	}
+	if switches < 8 {
+		t.Errorf("yield produced only %d interleavings", switches)
+	}
+}

@@ -1,0 +1,768 @@
+package workloads
+
+import (
+	"fmt"
+
+	"nimage/internal/ir"
+)
+
+// Workload is a benchmark program of the evaluation.
+type Workload struct {
+	// Name as reported on the figures' x axes.
+	Name string
+	// Service marks microservice workloads (time-to-first-response
+	// measurement, SIGKILL after response, memory-mapped trace buffers).
+	Service bool
+	// Args are the runtime program arguments (arg 0 is the problem size).
+	Args []int64
+	// Build constructs the program (expensive; call once and reuse).
+	Build func() *ir.Program
+}
+
+// AWFY returns the 14 "Are We Fast Yet?" benchmarks [33].
+func AWFY() []Workload {
+	return []Workload{
+		{Name: "Bounce", Args: []int64{25}, Build: buildBounce},
+		{Name: "CD", Args: []int64{8}, Build: buildCD},
+		{Name: "DeltaBlue", Args: []int64{40}, Build: buildDeltaBlue},
+		{Name: "Havlak", Args: []int64{6}, Build: buildHavlak},
+		{Name: "Json", Args: []int64{12}, Build: buildJson},
+		{Name: "List", Args: []int64{3}, Build: buildList},
+		{Name: "Mandelbrot", Args: []int64{60}, Build: buildMandelbrot},
+		{Name: "NBody", Args: []int64{2200}, Build: buildNBody},
+		{Name: "Permute", Args: []int64{12}, Build: buildPermute},
+		{Name: "Queens", Args: []int64{14}, Build: buildQueens},
+		{Name: "Richards", Args: []int64{14}, Build: buildRichards},
+		{Name: "Sieve", Args: []int64{18}, Build: buildSieve},
+		{Name: "Storage", Args: []int64{10}, Build: buildStorage},
+		{Name: "Towers", Args: []int64{10}, Build: buildTowers},
+	}
+}
+
+// Microservices returns the three helloworld microservice workloads.
+func Microservices() []Workload {
+	return []Workload{
+		{Name: "micronaut", Service: true, Build: func() *ir.Program { return buildService(micronautSpec()) }},
+		{Name: "quarkus", Service: true, Build: func() *ir.Program { return buildService(quarkusSpec()) }},
+		{Name: "spring", Service: true, Build: func() *ir.Program { return buildService(springSpec()) }},
+	}
+}
+
+// All returns every workload.
+func All() []Workload {
+	return append(AWFY(), Microservices()...)
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// newAWFY starts an AWFY program: core library + startup runtime.
+func newAWFY(name string) *ir.Builder {
+	b := ir.NewBuilder(name)
+	addCoreLibrary(b)
+	addStartup(b, awfyScale())
+	return b
+}
+
+// finishMain emits the standard main: runtime init, read the problem size
+// from arg 0, invoke Class.benchmark(n), print the result.
+func finishMain(b *ir.Builder, class string) {
+	m := b.Class(class + "Harness")
+	mm := m.StaticMethod("main", 0, ir.Void())
+	e := mm.Entry()
+	emitRuntimeInit(e)
+	zero := e.ConstInt(0)
+	n := e.Intrinsic(ir.IntrinsicArg, zero)
+	r := e.Call(class, "benchmark", n)
+	s := e.Intrinsic(ir.IntrinsicItoa, r)
+	e.IntrinsicVoid(ir.IntrinsicPrint, s)
+	e.RetVoid()
+	b.SetEntry(class+"Harness", "main")
+}
+
+// buildBounce: balls bouncing inside a box (AWFY Bounce).
+func buildBounce() *ir.Program {
+	b := newAWFY("Bounce")
+	ball := b.Class("Ball")
+	for _, f := range []string{"x", "y", "xVel", "yVel"} {
+		ball.Field(f, ir.Int())
+	}
+
+	// init(random): randomized position and velocity.
+	init := ball.Method("init", 1, ir.Void())
+	ie := init.Entry()
+	r := init.Param(0)
+	k500 := ie.ConstInt(500)
+	k300 := ie.ConstInt(300)
+	k25 := ie.ConstInt(25)
+	k10 := ie.ConstInt(10)
+	v := ie.Call(ClsRandom, "next", r)
+	ie.PutField(init.This(), "Ball", "x", ie.Arith(ir.Rem, v, k500))
+	v2 := ie.Call(ClsRandom, "next", r)
+	ie.PutField(init.This(), "Ball", "y", ie.Arith(ir.Rem, v2, k300))
+	v3 := ie.Call(ClsRandom, "next", r)
+	t := ie.Arith(ir.Rem, v3, k25)
+	ie.PutField(init.This(), "Ball", "xVel", ie.Arith(ir.Sub, t, k10))
+	v4 := ie.Call(ClsRandom, "next", r)
+	t2 := ie.Arith(ir.Rem, v4, k25)
+	ie.PutField(init.This(), "Ball", "yVel", ie.Arith(ir.Sub, t2, k10))
+	ie.RetVoid()
+
+	// bounce(): move and reflect at the walls; returns 1 when bounced.
+	bo := ball.Method("bounce", 0, ir.Int())
+	be := bo.Entry()
+	this := bo.This()
+	xLim := be.ConstInt(500)
+	yLim := be.ConstInt(300)
+	zero := be.ConstInt(0)
+	bounced := be.ConstInt(0)
+	x := be.GetField(this, "Ball", "x")
+	y := be.GetField(this, "Ball", "y")
+	xv := be.GetField(this, "Ball", "xVel")
+	yv := be.GetField(this, "Ball", "yVel")
+	nx := be.Arith(ir.Add, x, xv)
+	ny := be.Arith(ir.Add, y, yv)
+	be.PutField(this, "Ball", "x", nx)
+	be.PutField(this, "Ball", "y", ny)
+	one := be.ConstInt(1)
+	cur := be
+	reflect := func(field string, pos, vel, lim ir.Reg) {
+		hi := cur.Cmp(ir.Gt, pos, lim)
+		cur = cur.IfThen(hi, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+			nv := th.Arith(ir.Sub, zero, vel)
+			th.PutField(this, "Ball", field, nv)
+			th.MoveTo(bounced, one)
+			return th
+		})
+		lo := cur.Cmp(ir.Lt, pos, zero)
+		cur = cur.IfThen(lo, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+			nv2 := th.Arith(ir.Sub, zero, vel)
+			th.PutField(this, "Ball", field, nv2)
+			th.MoveTo(bounced, one)
+			return th
+		})
+	}
+	reflect("xVel", nx, xv, xLim)
+	reflect("yVel", ny, yv, yLim)
+	cur.Ret(bounced)
+
+	// benchmark(n): 100 balls, n frames.
+	bench := b.Class("BounceBench")
+	bm := bench.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	seed := e.ConstInt(74755)
+	rnd := e.Call(ClsRandom, "make", seed)
+	cnt := e.ConstInt(100)
+	balls := e.NewArray(ir.Ref("Ball"), cnt)
+	z := e.ConstInt(0)
+	mk := e.For(z, cnt, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		o := body.New("Ball")
+		body.CallVoid("Ball", "init", o, rnd)
+		body.ASet(balls, i, o)
+		return body
+	})
+	bounces := mk.ConstInt(0)
+	frames := mk.Move(bm.Param(0))
+	done := mk.For(z, frames, 1, func(fb *ir.BlockBuilder, f ir.Reg) *ir.BlockBuilder {
+		inner := fb.For(z, cnt, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+			o := body.AGet(balls, i)
+			hit := body.Call("Ball", "bounce", o)
+			body.ArithTo(bounces, ir.Add, bounces, hit)
+			return body
+		})
+		return inner
+	})
+	done.Ret(bounces)
+	finishMain(b, "BounceBench")
+	return b.MustBuild()
+}
+
+// buildSieve: sieve of Eratosthenes (AWFY Sieve).
+func buildSieve() *ir.Program {
+	b := newAWFY("Sieve")
+	c := b.Class("SieveBench")
+	sv := c.StaticMethod("sieve", 1, ir.Int())
+	se := sv.Entry()
+	size := sv.Param(0)
+	flags := se.NewArray(ir.Int(), size)
+	primes := se.ConstInt(0)
+	two := se.ConstInt(2)
+	exit := se.For(two, size, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		f := body.AGet(flags, i)
+		zero := body.ConstInt(0)
+		isPrime := body.Cmp(ir.Eq, f, zero)
+		return body.IfThen(isPrime, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+			one := th.ConstInt(1)
+			th.ArithTo(primes, ir.Add, primes, one)
+			k := th.Move(i)
+			mark := th.While(
+				func(h *ir.BlockBuilder) ir.Reg { return h.Cmp(ir.Lt, k, size) },
+				func(body2 *ir.BlockBuilder) *ir.BlockBuilder {
+					body2.ASet(flags, k, one)
+					body2.ArithTo(k, ir.Add, k, i)
+					return body2
+				})
+			return mark
+		})
+	})
+	exit.Ret(primes)
+
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	total := e.ConstInt(0)
+	zero := e.ConstInt(0)
+	sz := e.ConstInt(3000)
+	done := e.For(zero, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		p := body.Call("SieveBench", "sieve", sz)
+		body.ArithTo(total, ir.Add, total, p)
+		return body
+	})
+	done.Ret(total)
+	finishMain(b, "SieveBench")
+	return b.MustBuild()
+}
+
+// buildMandelbrot: escape-time fractal over an n×n grid (AWFY Mandelbrot).
+func buildMandelbrot() *ir.Program {
+	b := newAWFY("Mandelbrot")
+	c := b.Class("MandelbrotBench")
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	size := bm.Param(0)
+	sum := e.ConstInt(0)
+	zero := e.ConstInt(0)
+	fTwo := e.ConstFloat(2.0)
+	fFour := e.ConstFloat(4.0)
+	fSize := e.IntToFloat(size)
+	limit := e.ConstInt(50)
+	rows := e.For(zero, size, 1, func(rb *ir.BlockBuilder, y ir.Reg) *ir.BlockBuilder {
+		ci := rb.FArith(ir.Sub, rb.FArith(ir.Div, rb.FArith(ir.Mul, fTwo, rb.IntToFloat(y)), fSize), rb.ConstFloat(1.0))
+		cols := rb.For(zero, size, 1, func(cb *ir.BlockBuilder, x ir.Reg) *ir.BlockBuilder {
+			cr := cb.FArith(ir.Sub, cb.FArith(ir.Div, cb.FArith(ir.Mul, fTwo, cb.IntToFloat(x)), fSize), cb.ConstFloat(1.5))
+			zr := cb.ConstFloat(0)
+			zi := cb.ConstFloat(0)
+			it := cb.ConstInt(0)
+			loop := cb.While(
+				func(h *ir.BlockBuilder) ir.Reg {
+					zr2 := h.FArith(ir.Mul, zr, zr)
+					zi2 := h.FArith(ir.Mul, zi, zi)
+					mag := h.FArith(ir.Add, zr2, zi2)
+					inSet := h.Cmp(ir.Le, mag, fFour)
+					under := h.Cmp(ir.Lt, it, limit)
+					return h.Arith(ir.And, inSet, under)
+				},
+				func(body *ir.BlockBuilder) *ir.BlockBuilder {
+					zr2 := body.FArith(ir.Mul, zr, zr)
+					zi2 := body.FArith(ir.Mul, zi, zi)
+					nzr := body.FArith(ir.Add, body.FArith(ir.Sub, zr2, zi2), cr)
+					nzi := body.FArith(ir.Add, body.FArith(ir.Mul, fTwo, body.FArith(ir.Mul, zr, zi)), ci)
+					body.MoveTo(zr, nzr)
+					body.MoveTo(zi, nzi)
+					one := body.ConstInt(1)
+					body.ArithTo(it, ir.Add, it, one)
+					return body
+				})
+			loop.ArithTo(sum, ir.Xor, sum, it)
+			return loop
+		})
+		return cols
+	})
+	rows.Ret(sum)
+	finishMain(b, "MandelbrotBench")
+	return b.MustBuild()
+}
+
+// buildNBody: Jovian-planet N-body simulation (AWFY NBody).
+func buildNBody() *ir.Program {
+	b := newAWFY("NBody")
+	body := b.Class("Body")
+	for _, f := range []string{"x", "y", "z", "vx", "vy", "vz", "mass"} {
+		body.Field(f, ir.Float())
+	}
+
+	sys := b.Class("NBodySystem")
+	sys.Static("bodies", ir.Array(ir.Ref("Body")))
+
+	cl := sys.Clinit()
+	ce := cl.Entry()
+	five := ce.ConstInt(5)
+	arr := ce.NewArray(ir.Ref("Body"), five)
+	// Sun + 4 planets (abridged constants).
+	planets := [][7]float64{
+		{0, 0, 0, 0, 0, 0, 39.47},
+		{4.84, -1.16, -0.103, 0.606, 2.81, -0.0252, 0.0377},
+		{8.34, 4.12, -0.403, -1.01, 1.82, 0.00841, 0.0113},
+		{12.89, -15.11, -0.223, 1.08, 0.868, -0.0108, 0.0017},
+		{15.38, -25.91, 0.179, 0.979, 0.594, -0.0347, 0.0020},
+	}
+	fields := []string{"x", "y", "z", "vx", "vy", "vz", "mass"}
+	for i, pl := range planets {
+		o := ce.New("Body")
+		for k, f := range fields {
+			v := ce.ConstFloat(pl[k])
+			ce.PutField(o, "Body", f, v)
+		}
+		idx := ce.ConstInt(int64(i))
+		ce.ASet(arr, idx, o)
+	}
+	ce.PutStatic("NBodySystem", "bodies", arr)
+	ce.RetVoid()
+
+	// advance(dt): pairwise gravity + integration.
+	adv := sys.StaticMethod("advance", 0, ir.Void())
+	ae := adv.Entry()
+	bodies := ae.GetStatic("NBodySystem", "bodies")
+	n := ae.ALen(bodies)
+	zero := ae.ConstInt(0)
+	one := ae.ConstInt(1)
+	dt := ae.ConstFloat(0.01)
+	outer := ae.For(zero, n, 1, func(ob *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		bi := ob.AGet(bodies, i)
+		j0 := ob.Arith(ir.Add, i, one)
+		inner := ob.For(j0, n, 1, func(ib *ir.BlockBuilder, j ir.Reg) *ir.BlockBuilder {
+			bj := ib.AGet(bodies, j)
+			dx := ib.FArith(ir.Sub, ib.GetField(bi, "Body", "x"), ib.GetField(bj, "Body", "x"))
+			dy := ib.FArith(ir.Sub, ib.GetField(bi, "Body", "y"), ib.GetField(bj, "Body", "y"))
+			dz := ib.FArith(ir.Sub, ib.GetField(bi, "Body", "z"), ib.GetField(bj, "Body", "z"))
+			d2 := ib.FArith(ir.Add, ib.FArith(ir.Mul, dx, dx),
+				ib.FArith(ir.Add, ib.FArith(ir.Mul, dy, dy), ib.FArith(ir.Mul, dz, dz)))
+			dist := ib.Intrinsic(ir.IntrinsicSqrt, d2)
+			mag := ib.FArith(ir.Div, dt, ib.FArith(ir.Mul, d2, dist))
+			mi := ib.GetField(bi, "Body", "mass")
+			mj := ib.GetField(bj, "Body", "mass")
+			upd := func(vf string, d ir.Reg) {
+				vi := ib.GetField(bi, "Body", vf)
+				nvi := ib.FArith(ir.Sub, vi, ib.FArith(ir.Mul, d, ib.FArith(ir.Mul, mj, mag)))
+				ib.PutField(bi, "Body", vf, nvi)
+				vj := ib.GetField(bj, "Body", vf)
+				nvj := ib.FArith(ir.Add, vj, ib.FArith(ir.Mul, d, ib.FArith(ir.Mul, mi, mag)))
+				ib.PutField(bj, "Body", vf, nvj)
+			}
+			upd("vx", dx)
+			upd("vy", dy)
+			upd("vz", dz)
+			return ib
+		})
+		return inner
+	})
+	move := outer.For(zero, n, 1, func(mb *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		bi := mb.AGet(bodies, i)
+		for _, ax := range [][2]string{{"x", "vx"}, {"y", "vy"}, {"z", "vz"}} {
+			p := mb.GetField(bi, "Body", ax[0])
+			v := mb.GetField(bi, "Body", ax[1])
+			np := mb.FArith(ir.Add, p, mb.FArith(ir.Mul, dt, v))
+			mb.PutField(bi, "Body", ax[0], np)
+		}
+		return mb
+	})
+	move.RetVoid()
+
+	bench := b.Class("NBodyBench")
+	bm := bench.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	zero2 := e.ConstInt(0)
+	done := e.For(zero2, bm.Param(0), 1, func(body2 *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		body2.CallVoid("NBodySystem", "advance")
+		return body2
+	})
+	bodies2 := done.GetStatic("NBodySystem", "bodies")
+	z3 := done.ConstInt(0)
+	b0 := done.AGet(bodies2, z3)
+	x := done.GetField(b0, "Body", "x")
+	done.Ret(done.FloatToInt(done.FArith(ir.Mul, x, done.ConstFloat(1e6))))
+	finishMain(b, "NBodyBench")
+	return b.MustBuild()
+}
+
+// buildPermute: count permutations of a small array (AWFY Permute).
+func buildPermute() *ir.Program {
+	b := newAWFY("Permute")
+	c := b.Class("PermuteBench")
+	c.Static("count", ir.Int())
+	c.Static("v", ir.Array(ir.Int()))
+
+	sw := c.StaticMethod("swap", 2, ir.Void())
+	se := sw.Entry()
+	arr := se.GetStatic("PermuteBench", "v")
+	a := se.AGet(arr, sw.Param(0))
+	b2 := se.AGet(arr, sw.Param(1))
+	se.ASet(arr, sw.Param(0), b2)
+	se.ASet(arr, sw.Param(1), a)
+	se.RetVoid()
+
+	pm := c.StaticMethod("permute", 1, ir.Void())
+	pe := pm.Entry()
+	nn := pm.Param(0)
+	cnt := pe.GetStatic("PermuteBench", "count")
+	one := pe.ConstInt(1)
+	nc := pe.Arith(ir.Add, cnt, one)
+	pe.PutStatic("PermuteBench", "count", nc)
+	zero := pe.ConstInt(0)
+	notZero := pe.Cmp(ir.Ne, nn, zero)
+	rec := pm.NewBlock()
+	ret := pm.NewBlock()
+	pe.If(notZero, rec, ret)
+	ret.RetVoid()
+	n1 := rec.Arith(ir.Sub, nn, one)
+	rec.CallVoid("PermuteBench", "permute", n1)
+	loop := rec.For(zero, n1, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		body.CallVoid("PermuteBench", "swap", n1, i)
+		body.CallVoid("PermuteBench", "permute", n1)
+		body.CallVoid("PermuteBench", "swap", n1, i)
+		return body
+	})
+	loop.RetVoid()
+
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	zero2 := e.ConstInt(0)
+	done := e.For(zero2, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		body.PutStatic("PermuteBench", "count", zero2)
+		six := body.ConstInt(6)
+		arr2 := body.NewArray(ir.Int(), six)
+		body.PutStatic("PermuteBench", "v", arr2)
+		body.CallVoid("PermuteBench", "permute", six)
+		return body
+	})
+	done.Ret(done.GetStatic("PermuteBench", "count"))
+	finishMain(b, "PermuteBench")
+	return b.MustBuild()
+}
+
+// buildQueens: 8-queens backtracking (AWFY Queens).
+func buildQueens() *ir.Program {
+	b := newAWFY("Queens")
+	c := b.Class("QueensBench")
+	c.Static("freeRows", ir.Array(ir.Int()))
+	c.Static("freeMaxs", ir.Array(ir.Int()))
+	c.Static("freeMins", ir.Array(ir.Int()))
+	c.Static("queenRows", ir.Array(ir.Int()))
+
+	// place(c): try all rows in column c; returns 1 on success.
+	pl := c.StaticMethod("place", 1, ir.Int())
+	pe := pl.Entry()
+	col := pl.Param(0)
+	eight := pe.ConstInt(8)
+	done := pe.Cmp(ir.Ge, col, eight)
+	found := pl.NewBlock()
+	try := pl.NewBlock()
+	pe.If(done, found, try)
+	one := found.ConstInt(1)
+	found.Ret(one)
+
+	zero := try.ConstInt(0)
+	seven := try.ConstInt(7)
+	rows := try.GetStatic("QueensBench", "freeRows")
+	maxs := try.GetStatic("QueensBench", "freeMaxs")
+	mins := try.GetStatic("QueensBench", "freeMins")
+	qr := try.GetStatic("QueensBench", "queenRows")
+	loop := try.For(zero, eight, 1, func(body *ir.BlockBuilder, r ir.Reg) *ir.BlockBuilder {
+		d1 := body.Arith(ir.Add, r, col)
+		d2t := body.Arith(ir.Sub, r, col)
+		d2 := body.Arith(ir.Add, d2t, seven)
+		fr := body.AGet(rows, r)
+		fm := body.AGet(maxs, d1)
+		fn := body.AGet(mins, d2)
+		free := body.Arith(ir.And, fr, body.Arith(ir.And, fm, fn))
+		return body.IfThen(free, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+			zeroI := th.ConstInt(0)
+			oneI := th.ConstInt(1)
+			th.ASet(qr, col, r)
+			th.ASet(rows, r, zeroI)
+			th.ASet(maxs, d1, zeroI)
+			th.ASet(mins, d2, zeroI)
+			nc := th.Arith(ir.Add, col, oneI)
+			ok := th.Call("QueensBench", "place", nc)
+			th.ASet(rows, r, oneI)
+			th.ASet(maxs, d1, oneI)
+			th.ASet(mins, d2, oneI)
+			ret := th.IfThen(ok, func(t2 *ir.BlockBuilder) *ir.BlockBuilder {
+				t2.Ret(oneI)
+				return t2.Dead()
+			})
+			return ret
+		})
+	})
+	loop.Ret(zero)
+
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	z := e.ConstInt(0)
+	total := e.ConstInt(0)
+	outer := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		eightI := body.ConstInt(8)
+		sixteen := body.ConstInt(16)
+		rows2 := body.NewArray(ir.Int(), eightI)
+		maxs2 := body.NewArray(ir.Int(), sixteen)
+		mins2 := body.NewArray(ir.Int(), sixteen)
+		qr2 := body.NewArray(ir.Int(), eightI)
+		oneI := body.ConstInt(1)
+		zeroI := body.ConstInt(0)
+		f1 := body.For(zeroI, eightI, 1, func(fb *ir.BlockBuilder, k ir.Reg) *ir.BlockBuilder {
+			fb.ASet(rows2, k, oneI)
+			return fb
+		})
+		f2 := f1.For(zeroI, sixteen, 1, func(fb *ir.BlockBuilder, k ir.Reg) *ir.BlockBuilder {
+			fb.ASet(maxs2, k, oneI)
+			fb.ASet(mins2, k, oneI)
+			return fb
+		})
+		f2.PutStatic("QueensBench", "freeRows", rows2)
+		f2.PutStatic("QueensBench", "freeMaxs", maxs2)
+		f2.PutStatic("QueensBench", "freeMins", mins2)
+		f2.PutStatic("QueensBench", "queenRows", qr2)
+		ok := f2.Call("QueensBench", "place", zeroI)
+		f2.ArithTo(total, ir.Add, total, ok)
+		return f2
+	})
+	outer.Ret(total)
+	finishMain(b, "QueensBench")
+	return b.MustBuild()
+}
+
+// buildTowers: towers of Hanoi with disk objects (AWFY Towers).
+func buildTowers() *ir.Program {
+	b := newAWFY("Towers")
+	d := b.Class("TowersDisk")
+	d.Field("size", ir.Int())
+	d.Field("next", ir.Ref("TowersDisk"))
+
+	c := b.Class("TowersBench")
+	c.Static("piles", ir.Array(ir.Ref("TowersDisk")))
+	c.Static("moves", ir.Int())
+
+	push := c.StaticMethod("push", 2, ir.Void()) // (pile, disk)
+	pe := push.Entry()
+	piles := pe.GetStatic("TowersBench", "piles")
+	top := pe.AGet(piles, push.Param(0))
+	diskArg := pe.Move(push.Param(1))
+	pe.PutField(diskArg, "TowersDisk", "next", top)
+	pe.ASet(piles, push.Param(0), diskArg)
+	pe.RetVoid()
+
+	pop := c.StaticMethod("pop", 1, ir.Ref("TowersDisk"))
+	oe := pop.Entry()
+	piles2 := oe.GetStatic("TowersBench", "piles")
+	top2 := oe.AGet(piles2, pop.Param(0))
+	nxt := oe.GetField(top2, "TowersDisk", "next")
+	oe.ASet(piles2, pop.Param(0), nxt)
+	nl := oe.Null()
+	oe.PutField(top2, "TowersDisk", "next", nl)
+	oe.Ret(top2)
+
+	mv := c.StaticMethod("moveTopDisk", 2, ir.Void())
+	me := mv.Entry()
+	dd := me.Call("TowersBench", "pop", mv.Param(0))
+	me.CallVoid("TowersBench", "push", mv.Param(1), dd)
+	mm := me.GetStatic("TowersBench", "moves")
+	one := me.ConstInt(1)
+	me.PutStatic("TowersBench", "moves", me.Arith(ir.Add, mm, one))
+	me.RetVoid()
+
+	mp := c.StaticMethod("movePile", 3, ir.Void()) // (n, from, to)
+	me2 := mp.Entry()
+	n := mp.Param(0)
+	from := mp.Param(1)
+	to := mp.Param(2)
+	one2 := me2.ConstInt(1)
+	isOne := me2.Cmp(ir.Le, n, one2)
+	single := mp.NewBlock()
+	multi := mp.NewBlock()
+	me2.If(isOne, single, multi)
+	single.CallVoid("TowersBench", "moveTopDisk", from, to)
+	single.RetVoid()
+	three := multi.ConstInt(3)
+	other := multi.Arith(ir.Sub, multi.Arith(ir.Sub, three, from), to)
+	n1 := multi.Arith(ir.Sub, n, one2)
+	multi.CallVoid("TowersBench", "movePile", n1, from, other)
+	multi.CallVoid("TowersBench", "moveTopDisk", from, to)
+	multi.CallVoid("TowersBench", "movePile", n1, other, to)
+	multi.RetVoid()
+
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	z := e.ConstInt(0)
+	total := e.ConstInt(0)
+	outer := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, it ir.Reg) *ir.BlockBuilder {
+		three := body.ConstInt(3)
+		arr := body.NewArray(ir.Ref("TowersDisk"), three)
+		body.PutStatic("TowersBench", "piles", arr)
+		zeroI := body.ConstInt(0)
+		body.PutStatic("TowersBench", "moves", zeroI)
+		// Build pile 0 with 10 disks, largest first.
+		ten := body.ConstInt(10)
+		fill := body.For(zeroI, ten, 1, func(fb *ir.BlockBuilder, k ir.Reg) *ir.BlockBuilder {
+			disk := fb.New("TowersDisk")
+			sz := fb.Arith(ir.Sub, ten, k)
+			fb.PutField(disk, "TowersDisk", "size", sz)
+			fb.CallVoid("TowersBench", "push", zeroI, disk)
+			return fb
+		})
+		oneI := fill.ConstInt(1)
+		fill.CallVoid("TowersBench", "movePile", ten, zeroI, oneI)
+		mvs := fill.GetStatic("TowersBench", "moves")
+		fill.ArithTo(total, ir.Add, total, mvs)
+		return fill
+	})
+	outer.Ret(total)
+	finishMain(b, "TowersBench")
+	return b.MustBuild()
+}
+
+// buildList: linked-list tail recursion (AWFY List).
+func buildList() *ir.Program {
+	b := newAWFY("List")
+	el := b.Class("ListElement")
+	el.Field("val", ir.Int())
+	el.Field("next", ir.Ref("ListElement"))
+
+	c := b.Class("ListBench")
+	mk := c.StaticMethod("makeList", 1, ir.Ref("ListElement"))
+	me := mk.Entry()
+	n := mk.Param(0)
+	zero := me.ConstInt(0)
+	empty := me.Cmp(ir.Le, n, zero)
+	base := mk.NewBlock()
+	cons := mk.NewBlock()
+	me.If(empty, base, cons)
+	base.Ret(base.Null())
+	one := cons.ConstInt(1)
+	n1 := cons.Arith(ir.Sub, n, one)
+	rest := cons.Call("ListBench", "makeList", n1)
+	o := cons.New("ListElement")
+	cons.PutField(o, "ListElement", "val", n)
+	cons.PutField(o, "ListElement", "next", rest)
+	cons.Ret(o)
+
+	ln := c.StaticMethod("length", 1, ir.Int())
+	le := ln.Entry()
+	nl := le.Null()
+	isNil := le.Cmp(ir.Eq, ln.Param(0), nl)
+	zb := ln.NewBlock()
+	rb := ln.NewBlock()
+	le.If(isNil, zb, rb)
+	zb.Ret(zb.ConstInt(0))
+	nxt := rb.GetField(ln.Param(0), "ListElement", "next")
+	rest2 := rb.Call("ListBench", "length", nxt)
+	one2 := rb.ConstInt(1)
+	rb.Ret(rb.Arith(ir.Add, rest2, one2))
+
+	// isShorterThan(x, y).
+	sh := c.StaticMethod("isShorterThan", 2, ir.Int())
+	she := sh.Entry()
+	x := she.Move(sh.Param(0))
+	y := she.Move(sh.Param(1))
+	nl2 := she.Null()
+	loop := she.While(
+		func(h *ir.BlockBuilder) ir.Reg { return h.Cmp(ir.Ne, y, nl2) },
+		func(body *ir.BlockBuilder) *ir.BlockBuilder {
+			xNil := body.Cmp(ir.Eq, x, nl2)
+			cont := body.IfThen(xNil, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+				one3 := th.ConstInt(1)
+				th.Ret(one3)
+				return th.Dead()
+			})
+			nx := cont.GetField(x, "ListElement", "next")
+			ny := cont.GetField(y, "ListElement", "next")
+			cont.MoveTo(x, nx)
+			cont.MoveTo(y, ny)
+			return cont
+		})
+	loop.Ret(loop.ConstInt(0))
+
+	// tail(x, y, z) — the classic Takeuchi-style list recursion.
+	tl := c.StaticMethod("tail", 3, ir.Ref("ListElement"))
+	te := tl.Entry()
+	short := te.Call("ListBench", "isShorterThan", tl.Param(1), tl.Param(0))
+	recB := tl.NewBlock()
+	baseB := tl.NewBlock()
+	te.If(short, recB, baseB)
+	baseB.Ret(tl.Param(2))
+	nxX := recB.GetField(tl.Param(0), "ListElement", "next")
+	nxY := recB.GetField(tl.Param(1), "ListElement", "next")
+	nxZ := recB.GetField(tl.Param(2), "ListElement", "next")
+	r1 := recB.Call("ListBench", "tail", nxX, tl.Param(1), tl.Param(2))
+	r2 := recB.Call("ListBench", "tail", nxY, tl.Param(2), tl.Param(0))
+	r3 := recB.Call("ListBench", "tail", nxZ, tl.Param(0), tl.Param(1))
+	recB.Ret(recB.Call("ListBench", "tail", r1, r2, r3))
+
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	z := e.ConstInt(0)
+	total := e.ConstInt(0)
+	outer := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		k15 := body.ConstInt(15)
+		k10 := body.ConstInt(10)
+		k6 := body.ConstInt(6)
+		lx := body.Call("ListBench", "makeList", k15)
+		ly := body.Call("ListBench", "makeList", k10)
+		lz := body.Call("ListBench", "makeList", k6)
+		r := body.Call("ListBench", "tail", lx, ly, lz)
+		ln2 := body.Call("ListBench", "length", r)
+		body.ArithTo(total, ir.Add, total, ln2)
+		return body
+	})
+	outer.Ret(total)
+	finishMain(b, "ListBench")
+	return b.MustBuild()
+}
+
+// buildStorage: random tree of arrays (AWFY Storage).
+func buildStorage() *ir.Program {
+	b := newAWFY("Storage")
+	c := b.Class("StorageBench")
+	c.Static("count", ir.Int())
+
+	// buildTree(depth, random) -> Object array tree.
+	bt := c.StaticMethod("buildTree", 2, ir.Array(refObj()))
+	be := bt.Entry()
+	depth := bt.Param(0)
+	rnd := bt.Param(1)
+	cnt := be.GetStatic("StorageBench", "count")
+	one := be.ConstInt(1)
+	be.PutStatic("StorageBench", "count", be.Arith(ir.Add, cnt, one))
+	zero := be.ConstInt(0)
+	leaf := be.Cmp(ir.Le, depth, zero)
+	leafB := bt.NewBlock()
+	nodeB := bt.NewBlock()
+	be.If(leaf, leafB, nodeB)
+	four0 := leafB.ConstInt(4)
+	leafB.Ret(leafB.NewArray(refObj(), four0))
+	rv := nodeB.Call(ClsRandom, "next", rnd)
+	four := nodeB.ConstInt(4)
+	two := nodeB.ConstInt(2)
+	width := nodeB.Arith(ir.Add, two, nodeB.Arith(ir.Rem, rv, four))
+	arr := nodeB.NewArray(refObj(), width)
+	d1 := nodeB.Arith(ir.Sub, depth, one)
+	loop := nodeB.For(zero, width, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		child := body.Call("StorageBench", "buildTree", d1, rnd)
+		body.ASet(arr, i, child)
+		return body
+	})
+	loop.Ret(arr)
+
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	z := e.ConstInt(0)
+	total := e.ConstInt(0)
+	outer := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		body.PutStatic("StorageBench", "count", z)
+		seed := body.ConstInt(74755)
+		rnd := body.Call(ClsRandom, "make", seed)
+		seven := body.ConstInt(7)
+		body.Call("StorageBench", "buildTree", seven, rnd)
+		cnt2 := body.GetStatic("StorageBench", "count")
+		body.ArithTo(total, ir.Add, total, cnt2)
+		return body
+	})
+	outer.Ret(total)
+	finishMain(b, "StorageBench")
+	return b.MustBuild()
+}

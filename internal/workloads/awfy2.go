@@ -1,0 +1,633 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"nimage/internal/ir"
+)
+
+// buildRichards: operating-system task scheduler with polymorphic task
+// kinds (abridged AWFY Richards).
+func buildRichards() *ir.Program {
+	b := newAWFY("Richards")
+
+	// Task hierarchy: each kind advances its state differently.
+	task := b.Class("Task")
+	task.Field("state", ir.Int())
+	task.Field("ticks", ir.Int())
+	tm := task.Method("run", 0, ir.Int())
+	te := tm.Entry()
+	te.Ret(te.ConstInt(0))
+
+	kinds := []struct {
+		name string
+		mul  int64
+		add  int64
+	}{
+		{"IdleTask", 2, 1},
+		{"WorkerTask", 3, 7},
+		{"DeviceTask", 5, 3},
+		{"HandlerTask", 7, 11},
+	}
+	for _, k := range kinds {
+		c := b.Class(k.name).Extends("Task")
+		m := c.Method("run", 0, ir.Int())
+		e := m.Entry()
+		st := e.GetField(m.This(), "Task", "state")
+		mul := e.ConstInt(k.mul)
+		add := e.ConstInt(k.add)
+		mask := e.ConstInt(0xffff)
+		ns := e.Arith(ir.And, e.Arith(ir.Add, e.Arith(ir.Mul, st, mul), add), mask)
+		e.PutField(m.This(), "Task", "state", ns)
+		tk := e.GetField(m.This(), "Task", "ticks")
+		one := e.ConstInt(1)
+		e.PutField(m.This(), "Task", "ticks", e.Arith(ir.Add, tk, one))
+		two := e.ConstInt(2)
+		e.Ret(e.Arith(ir.Rem, ns, two))
+	}
+
+	sched := b.Class("Scheduler")
+	sched.Field("tasks", ir.Ref(ClsArrayList))
+	sched.Field("queueCount", ir.Int())
+
+	mk := sched.StaticMethod("make", 0, ir.Ref("Scheduler"))
+	me := mk.Entry()
+	s := me.New("Scheduler")
+	cap16 := me.ConstInt(16)
+	lst := me.Call(ClsArrayList, "make", cap16)
+	me.PutField(s, "Scheduler", "tasks", lst)
+	// Populate with a fixed task mix.
+	for i, k := range []string{"IdleTask", "WorkerTask", "DeviceTask", "HandlerTask", "WorkerTask", "DeviceTask"} {
+		o := me.New(k)
+		st := me.ConstInt(int64(i*17 + 3))
+		me.PutField(o, "Task", "state", st)
+		me.CallVoid(ClsArrayList, "add", lst, o)
+	}
+	me.Ret(s)
+
+	// schedule(rounds): repeatedly run every task, counting "holds".
+	sc := sched.Method("schedule", 1, ir.Int())
+	se := sc.Entry()
+	lst2 := se.GetField(sc.This(), "Scheduler", "tasks")
+	n := se.Call(ClsArrayList, "size", lst2)
+	holds := se.ConstInt(0)
+	zero := se.ConstInt(0)
+	outer := se.For(zero, sc.Param(0), 1, func(ob *ir.BlockBuilder, r ir.Reg) *ir.BlockBuilder {
+		inner := ob.For(zero, n, 1, func(ib *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+			t := ib.Call(ClsArrayList, "get", lst2, i)
+			h := ib.CallVirt("Task", "run", t)
+			ib.ArithTo(holds, ir.Add, holds, h)
+			return ib
+		})
+		return inner
+	})
+	outer.Ret(holds)
+
+	c := b.Class("RichardsBench")
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	total := e.ConstInt(0)
+	z := e.ConstInt(0)
+	done := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		s2 := body.Call("Scheduler", "make")
+		k60 := body.ConstInt(60)
+		h := body.Call("Scheduler", "schedule", s2, k60)
+		body.ArithTo(total, ir.Add, total, h)
+		return body
+	})
+	done.Ret(total)
+	finishMain(b, "RichardsBench")
+	return b.MustBuild()
+}
+
+// buildDeltaBlue: one-way constraint solver over a chain of variables
+// (abridged AWFY DeltaBlue: stay/edit/scale/equality constraints with
+// strengths, planner extraction, value propagation).
+func buildDeltaBlue() *ir.Program {
+	b := newAWFY("DeltaBlue")
+
+	v := b.Class("Variable")
+	v.Field("value", ir.Int())
+	v.Field("stay", ir.Int())
+
+	cons := b.Class("Constraint")
+	cons.Field("strength", ir.Int())
+	cons.Field("input", ir.Ref("Variable"))
+	cons.Field("output", ir.Ref("Variable"))
+	cm := cons.Method("execute", 0, ir.Void())
+	cm.Entry().RetVoid()
+	sm := cons.Method("isSatisfied", 0, ir.Int())
+	sme := sm.Entry()
+	st := sme.GetField(sm.This(), "Constraint", "strength")
+	k := sme.ConstInt(4)
+	sme.Ret(sme.Cmp(ir.Lt, st, k))
+
+	eq := b.Class("EqualityConstraint").Extends("Constraint")
+	em := eq.Method("execute", 0, ir.Void())
+	ee := em.Entry()
+	in := ee.GetField(em.This(), "Constraint", "input")
+	out := ee.GetField(em.This(), "Constraint", "output")
+	val := ee.GetField(in, "Variable", "value")
+	ee.PutField(out, "Variable", "value", val)
+	ee.RetVoid()
+
+	scale := b.Class("ScaleConstraint").Extends("Constraint")
+	scale.Field("factor", ir.Int())
+	scm := scale.Method("execute", 0, ir.Void())
+	sce := scm.Entry()
+	in2 := sce.GetField(scm.This(), "Constraint", "input")
+	out2 := sce.GetField(scm.This(), "Constraint", "output")
+	f := sce.GetField(scm.This(), "ScaleConstraint", "factor")
+	val2 := sce.GetField(in2, "Variable", "value")
+	sce.PutField(out2, "Variable", "value", sce.Arith(ir.Mul, val2, f))
+	sce.RetVoid()
+
+	stay := b.Class("StayConstraint").Extends("Constraint")
+	stm := stay.Method("execute", 0, ir.Void())
+	ste := stm.Entry()
+	out3 := ste.GetField(stm.This(), "Constraint", "output")
+	one := ste.ConstInt(1)
+	ste.PutField(out3, "Variable", "stay", one)
+	ste.RetVoid()
+
+	c := b.Class("DeltaBlueBench")
+	// chainTest(n): build a chain of equality constraints ending in a
+	// scale, then propagate an edit down the chain repeatedly.
+	ct := c.StaticMethod("chainTest", 1, ir.Int())
+	cte := ct.Entry()
+	n := ct.Param(0)
+	vars := cte.NewArray(ir.Ref("Variable"), n)
+	zero := cte.ConstInt(0)
+	mkv := cte.For(zero, n, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		o := body.New("Variable")
+		body.PutField(o, "Variable", "value", i)
+		body.ASet(vars, i, o)
+		return body
+	})
+	one2 := mkv.ConstInt(1)
+	nc := mkv.Arith(ir.Sub, n, one2)
+	consArr := mkv.NewArray(ir.Ref("Constraint"), n)
+	mkc := mkv.For(zero, nc, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		three := body.ConstInt(3)
+		rem := body.Arith(ir.Rem, i, three)
+		zeroI := body.ConstInt(0)
+		isScale := body.Cmp(ir.Eq, rem, zeroI)
+		co := body.IfElse(isScale,
+			func(th *ir.BlockBuilder) *ir.BlockBuilder {
+				o := th.New("ScaleConstraint")
+				two := th.ConstInt(2)
+				th.PutField(o, "ScaleConstraint", "factor", two)
+				th.ASet(consArr, i, o)
+				return th
+			},
+			func(el *ir.BlockBuilder) *ir.BlockBuilder {
+				o := el.New("EqualityConstraint")
+				el.ASet(consArr, i, o)
+				return el
+			})
+		cobj := co.AGet(consArr, i)
+		vi := co.AGet(vars, i)
+		oneI := co.ConstInt(1)
+		ip := co.Arith(ir.Add, i, oneI)
+		vo := co.AGet(vars, ip)
+		co.PutField(cobj, "Constraint", "input", vi)
+		co.PutField(cobj, "Constraint", "output", vo)
+		st2 := co.Arith(ir.Rem, i, co.ConstInt(7))
+		co.PutField(cobj, "Constraint", "strength", st2)
+		return co
+	})
+	// Propagate 10 edits through the chain.
+	ten := mkc.ConstInt(10)
+	prop := mkc.For(zero, ten, 1, func(pb *ir.BlockBuilder, e ir.Reg) *ir.BlockBuilder {
+		v0 := pb.AGet(vars, zero)
+		k17 := pb.ConstInt(17)
+		nv := pb.Arith(ir.Mul, e, k17)
+		pb.PutField(v0, "Variable", "value", nv)
+		run := pb.For(zero, nc, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+			co := body.AGet(consArr, i)
+			sat := body.CallVirt("Constraint", "isSatisfied", co)
+			return body.IfThen(sat, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+				th.CallVirtVoid("Constraint", "execute", co)
+				return th
+			})
+		})
+		return run
+	})
+	last := prop.AGet(vars, nc)
+	prop.Ret(prop.GetField(last, "Variable", "value"))
+
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	total := e.ConstInt(0)
+	z := e.ConstInt(0)
+	done := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		k40 := body.ConstInt(40)
+		r := body.Call("DeltaBlueBench", "chainTest", k40)
+		body.ArithTo(total, ir.Xor, total, r)
+		return body
+	})
+	done.Ret(total)
+	finishMain(b, "DeltaBlueBench")
+	return b.MustBuild()
+}
+
+// buildHavlak: loop recognition on a synthetic control-flow graph
+// (abridged AWFY Havlak: DFS numbering + back-edge detection).
+func buildHavlak() *ir.Program {
+	b := newAWFY("Havlak")
+
+	node := b.Class("BasicBlock")
+	node.Field("id", ir.Int())
+	node.Field("edges", ir.Ref(ClsArrayList))
+	node.Field("dfsNum", ir.Int())
+	node.Field("visited", ir.Int())
+
+	g := b.Class("CFGraph")
+	g.Static("nodes", ir.Ref(ClsArrayList))
+	g.Static("counter", ir.Int())
+	g.Static("loops", ir.Int())
+
+	// build(n): n nodes; edges i->i+1, diamond branches, and back edges
+	// every 5th node.
+	bg := g.StaticMethod("build", 1, ir.Void())
+	be := bg.Entry()
+	n := bg.Param(0)
+	lst := be.Call(ClsArrayList, "make", n)
+	be.PutStatic("CFGraph", "nodes", lst)
+	zero := be.ConstInt(0)
+	mk := be.For(zero, n, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		o := body.New("BasicBlock")
+		body.PutField(o, "BasicBlock", "id", i)
+		four := body.ConstInt(4)
+		el := body.Call(ClsArrayList, "make", four)
+		body.PutField(o, "BasicBlock", "edges", el)
+		body.CallVoid(ClsArrayList, "add", lst, o)
+		return body
+	})
+	one := mk.ConstInt(1)
+	nm1 := mk.Arith(ir.Sub, n, one)
+	wire := mk.For(zero, nm1, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		cur := body.Call(ClsArrayList, "get", lst, i)
+		oneI := body.ConstInt(1)
+		ip := body.Arith(ir.Add, i, oneI)
+		nxt := body.Call(ClsArrayList, "get", lst, ip)
+		edges := body.GetField(cur, "BasicBlock", "edges")
+		body.CallVoid(ClsArrayList, "add", edges, nxt)
+		// Back edge every 5th node, to i-3.
+		five := body.ConstInt(5)
+		rem := body.Arith(ir.Rem, i, five)
+		four := body.ConstInt(4)
+		isBack := body.Cmp(ir.Eq, rem, four)
+		three := body.ConstInt(3)
+		big := body.Cmp(ir.Ge, i, three)
+		both := body.Arith(ir.And, isBack, big)
+		return body.IfThen(both, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+			tgt := th.Arith(ir.Sub, i, three)
+			bn := th.Call(ClsArrayList, "get", lst, tgt)
+			th.CallVoid(ClsArrayList, "add", edges, bn)
+			return th
+		})
+	})
+	wire.RetVoid()
+
+	// dfs(node): recursive numbering; counts back edges as loops.
+	df := g.StaticMethod("dfs", 1, ir.Void())
+	de := df.Entry()
+	cur := df.Param(0)
+	seen := de.GetField(cur, "BasicBlock", "visited")
+	again := df.NewBlock()
+	fresh := df.NewBlock()
+	de.If(seen, again, fresh)
+	// Already visited: a back/cross edge; count loops when the target has
+	// a smaller DFS number (retreating edge).
+	lp := again.GetStatic("CFGraph", "loops")
+	one3 := again.ConstInt(1)
+	again.PutStatic("CFGraph", "loops", again.Arith(ir.Add, lp, one3))
+	again.RetVoid()
+	one2 := fresh.ConstInt(1)
+	fresh.PutField(cur, "BasicBlock", "visited", one2)
+	ctr := fresh.GetStatic("CFGraph", "counter")
+	fresh.PutField(cur, "BasicBlock", "dfsNum", ctr)
+	fresh.PutStatic("CFGraph", "counter", fresh.Arith(ir.Add, ctr, one2))
+	edges := fresh.GetField(cur, "BasicBlock", "edges")
+	ne := fresh.Call(ClsArrayList, "size", edges)
+	zero2 := fresh.ConstInt(0)
+	loop := fresh.For(zero2, ne, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		tgt := body.Call(ClsArrayList, "get", edges, i)
+		body.CallVoid("CFGraph", "dfs", tgt)
+		return body
+	})
+	loop.RetVoid()
+
+	c := b.Class("HavlakBench")
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	z := e.ConstInt(0)
+	total := e.ConstInt(0)
+	done := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, it ir.Reg) *ir.BlockBuilder {
+		k120 := body.ConstInt(120)
+		body.CallVoid("CFGraph", "build", k120)
+		body.PutStatic("CFGraph", "counter", z)
+		body.PutStatic("CFGraph", "loops", z)
+		nodes := body.GetStatic("CFGraph", "nodes")
+		root := body.Call(ClsArrayList, "get", nodes, z)
+		body.CallVoid("CFGraph", "dfs", root)
+		lps := body.GetStatic("CFGraph", "loops")
+		body.ArithTo(total, ir.Add, total, lps)
+		return body
+	})
+	done.Ret(total)
+	finishMain(b, "HavlakBench")
+	return b.MustBuild()
+}
+
+// jsonDocument is the literal document the Json benchmark parses.
+func jsonDocument() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i := 0; i < 24; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&sb, "\"key%02d\":%d", i, i*37)
+		case 1:
+			fmt.Fprintf(&sb, "\"key%02d\":\"value-%02d\"", i, i)
+		default:
+			fmt.Fprintf(&sb, "\"key%02d\":[%d,%d,%d,%d]", i, i, i+1, i+2, i+3)
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// buildJson: recursive-descent parser over a JSON document held in a
+// string constant (abridged AWFY Json).
+func buildJson() *ir.Program {
+	b := newAWFY("Json")
+
+	p := b.Class("JsonParser")
+	p.Static("doc", ir.String())
+	p.Static("pos", ir.Int())
+	p.Static("nodes", ir.Int())
+
+	// ch(): current byte, or 0 at end.
+	chm := p.StaticMethod("ch", 0, ir.Int())
+	che := chm.Entry()
+	doc := che.GetStatic("JsonParser", "doc")
+	pos := che.GetStatic("JsonParser", "pos")
+	ln := che.Intrinsic(ir.IntrinsicStrLen, doc)
+	inRange := che.Cmp(ir.Lt, pos, ln)
+	ok := chm.NewBlock()
+	end := chm.NewBlock()
+	che.If(inRange, ok, end)
+	ok.Ret(ok.Intrinsic(ir.IntrinsicStrChar, doc, pos))
+	end.Ret(end.ConstInt(0))
+
+	adv := p.StaticMethod("advance", 0, ir.Void())
+	ade := adv.Entry()
+	pos2 := ade.GetStatic("JsonParser", "pos")
+	one := ade.ConstInt(1)
+	ade.PutStatic("JsonParser", "pos", ade.Arith(ir.Add, pos2, one))
+	ade.RetVoid()
+
+	bump := p.StaticMethod("countNode", 0, ir.Void())
+	bue := bump.Entry()
+	nn := bue.GetStatic("JsonParser", "nodes")
+	one2 := bue.ConstInt(1)
+	bue.PutStatic("JsonParser", "nodes", bue.Arith(ir.Add, nn, one2))
+	bue.RetVoid()
+
+	// parseString: consume '"' ... '"'.
+	ps := p.StaticMethod("parseString", 0, ir.Void())
+	pse := ps.Entry()
+	pse.CallVoid("JsonParser", "advance") // opening quote
+	q := pse.ConstInt('"')
+	loop := pse.While(
+		func(h *ir.BlockBuilder) ir.Reg {
+			c := h.Call("JsonParser", "ch")
+			return h.Cmp(ir.Ne, c, q)
+		},
+		func(body *ir.BlockBuilder) *ir.BlockBuilder {
+			body.CallVoid("JsonParser", "advance")
+			return body
+		})
+	loop.CallVoid("JsonParser", "advance") // closing quote
+	loop.CallVoid("JsonParser", "countNode")
+	loop.RetVoid()
+
+	// parseNumber: consume digits.
+	pn := p.StaticMethod("parseNumber", 0, ir.Void())
+	pne := pn.Entry()
+	d0 := pne.ConstInt('0')
+	d9 := pne.ConstInt('9')
+	loop2 := pne.While(
+		func(h *ir.BlockBuilder) ir.Reg {
+			c := h.Call("JsonParser", "ch")
+			ge := h.Cmp(ir.Ge, c, d0)
+			le := h.Cmp(ir.Le, c, d9)
+			return h.Arith(ir.And, ge, le)
+		},
+		func(body *ir.BlockBuilder) *ir.BlockBuilder {
+			body.CallVoid("JsonParser", "advance")
+			return body
+		})
+	loop2.CallVoid("JsonParser", "countNode")
+	loop2.RetVoid()
+
+	// parseValue: dispatch on the current character.
+	pv := p.StaticMethod("parseValue", 0, ir.Void())
+	pve := pv.Entry()
+	c0 := pve.Call("JsonParser", "ch")
+	q2 := pve.ConstInt('"')
+	isStr := pve.Cmp(ir.Eq, c0, q2)
+	strB := pv.NewBlock()
+	rest := pv.NewBlock()
+	pve.If(isStr, strB, rest)
+	strB.CallVoid("JsonParser", "parseString")
+	strB.RetVoid()
+	lb := rest.ConstInt('[')
+	isArr := rest.Cmp(ir.Eq, c0, lb)
+	arrB := pv.NewBlock()
+	rest2 := pv.NewBlock()
+	rest.If(isArr, arrB, rest2)
+	arrB.CallVoid("JsonParser", "parseArray")
+	arrB.RetVoid()
+	ob := rest2.ConstInt('{')
+	isObj := rest2.Cmp(ir.Eq, c0, ob)
+	objB := pv.NewBlock()
+	numB := pv.NewBlock()
+	rest2.If(isObj, objB, numB)
+	objB.CallVoid("JsonParser", "parseObject")
+	objB.RetVoid()
+	numB.CallVoid("JsonParser", "parseNumber")
+	numB.RetVoid()
+
+	// parseArray: '[' value (',' value)* ']'.
+	pa := p.StaticMethod("parseArray", 0, ir.Void())
+	pae := pa.Entry()
+	pae.CallVoid("JsonParser", "advance") // '['
+	rbr := pae.ConstInt(']')
+	comma := pae.ConstInt(',')
+	loop3 := pae.While(
+		func(h *ir.BlockBuilder) ir.Reg {
+			c := h.Call("JsonParser", "ch")
+			return h.Cmp(ir.Ne, c, rbr)
+		},
+		func(body *ir.BlockBuilder) *ir.BlockBuilder {
+			c := body.Call("JsonParser", "ch")
+			isComma := body.Cmp(ir.Eq, c, comma)
+			return body.IfElse(isComma,
+				func(th *ir.BlockBuilder) *ir.BlockBuilder {
+					th.CallVoid("JsonParser", "advance")
+					return th
+				},
+				func(el *ir.BlockBuilder) *ir.BlockBuilder {
+					el.CallVoid("JsonParser", "parseValue")
+					return el
+				})
+		})
+	loop3.CallVoid("JsonParser", "advance") // ']'
+	loop3.CallVoid("JsonParser", "countNode")
+	loop3.RetVoid()
+
+	// parseObject: '{' "key" ':' value (',' ...)* '}'.
+	po := p.StaticMethod("parseObject", 0, ir.Void())
+	poe := po.Entry()
+	poe.CallVoid("JsonParser", "advance") // '{'
+	rcb := poe.ConstInt('}')
+	colon := poe.ConstInt(':')
+	comma2 := poe.ConstInt(',')
+	loop4 := poe.While(
+		func(h *ir.BlockBuilder) ir.Reg {
+			c := h.Call("JsonParser", "ch")
+			return h.Cmp(ir.Ne, c, rcb)
+		},
+		func(body *ir.BlockBuilder) *ir.BlockBuilder {
+			c := body.Call("JsonParser", "ch")
+			isSep := body.Cmp(ir.Eq, c, colon)
+			isComma := body.Cmp(ir.Eq, c, comma2)
+			skip := body.Arith(ir.Or, isSep, isComma)
+			return body.IfElse(skip,
+				func(th *ir.BlockBuilder) *ir.BlockBuilder {
+					th.CallVoid("JsonParser", "advance")
+					return th
+				},
+				func(el *ir.BlockBuilder) *ir.BlockBuilder {
+					el.CallVoid("JsonParser", "parseValue")
+					return el
+				})
+		})
+	loop4.CallVoid("JsonParser", "advance") // '}'
+	loop4.CallVoid("JsonParser", "countNode")
+	loop4.RetVoid()
+
+	c := b.Class("JsonBench")
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	z := e.ConstInt(0)
+	total := e.ConstInt(0)
+	doc2 := e.Str(jsonDocument())
+	done := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		body.PutStatic("JsonParser", "doc", doc2)
+		body.PutStatic("JsonParser", "pos", z)
+		body.PutStatic("JsonParser", "nodes", z)
+		body.CallVoid("JsonParser", "parseValue")
+		nn := body.GetStatic("JsonParser", "nodes")
+		body.ArithTo(total, ir.Add, total, nn)
+		return body
+	})
+	done.Ret(total)
+	finishMain(b, "JsonBench")
+	return b.MustBuild()
+}
+
+// buildCD: collision detection over aircraft trajectories (abridged AWFY
+// CD: per-frame motion update plus O(n²) proximity test).
+func buildCD() *ir.Program {
+	b := newAWFY("CD")
+
+	ac := b.Class("Aircraft")
+	for _, f := range []string{"x", "y", "vx", "vy"} {
+		ac.Field(f, ir.Float())
+	}
+
+	c := b.Class("CDBench")
+	c.Static("fleet", ir.Array(ir.Ref("Aircraft")))
+
+	setup := c.StaticMethod("setup", 1, ir.Void())
+	se := setup.Entry()
+	n := setup.Param(0)
+	arr := se.NewArray(ir.Ref("Aircraft"), n)
+	zero := se.ConstInt(0)
+	mk := se.For(zero, n, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		o := body.New("Aircraft")
+		fi := body.IntToFloat(i)
+		k3 := body.ConstFloat(3.7)
+		k11 := body.ConstFloat(11.3)
+		body.PutField(o, "Aircraft", "x", body.FArith(ir.Mul, fi, k3))
+		body.PutField(o, "Aircraft", "y", body.FArith(ir.Mul, fi, k11))
+		s := body.Intrinsic(ir.IntrinsicSin, fi)
+		cc := body.Intrinsic(ir.IntrinsicCos, fi)
+		body.PutField(o, "Aircraft", "vx", s)
+		body.PutField(o, "Aircraft", "vy", cc)
+		body.ASet(arr, i, o)
+		return body
+	})
+	mk.PutStatic("CDBench", "fleet", arr)
+	mk.RetVoid()
+
+	// frame(): advance everyone, then count close pairs.
+	fr := c.StaticMethod("frame", 0, ir.Int())
+	fe := fr.Entry()
+	fleet := fe.GetStatic("CDBench", "fleet")
+	n2 := fe.ALen(fleet)
+	zero2 := fe.ConstInt(0)
+	mv := fe.For(zero2, n2, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		o := body.AGet(fleet, i)
+		for _, ax := range [][2]string{{"x", "vx"}, {"y", "vy"}} {
+			pv := body.GetField(o, "Aircraft", ax[0])
+			vv := body.GetField(o, "Aircraft", ax[1])
+			body.PutField(o, "Aircraft", ax[0], body.FArith(ir.Add, pv, vv))
+		}
+		return body
+	})
+	coll := mv.ConstInt(0)
+	thresh := mv.ConstFloat(16.0)
+	one := mv.ConstInt(1)
+	outer := mv.For(zero2, n2, 1, func(ob *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		a := ob.AGet(fleet, i)
+		j0 := ob.Arith(ir.Add, i, one)
+		inner := ob.For(j0, n2, 1, func(ib *ir.BlockBuilder, j ir.Reg) *ir.BlockBuilder {
+			bb := ib.AGet(fleet, j)
+			dx := ib.FArith(ir.Sub, ib.GetField(a, "Aircraft", "x"), ib.GetField(bb, "Aircraft", "x"))
+			dy := ib.FArith(ir.Sub, ib.GetField(a, "Aircraft", "y"), ib.GetField(bb, "Aircraft", "y"))
+			d2 := ib.FArith(ir.Add, ib.FArith(ir.Mul, dx, dx), ib.FArith(ir.Mul, dy, dy))
+			close := ib.Cmp(ir.Lt, d2, thresh)
+			return ib.IfThen(close, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+				oneI := th.ConstInt(1)
+				th.ArithTo(coll, ir.Add, coll, oneI)
+				return th
+			})
+		})
+		return inner
+	})
+	outer.Ret(coll)
+
+	bm := c.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	k40 := e.ConstInt(40)
+	e.CallVoid("CDBench", "setup", k40)
+	z := e.ConstInt(0)
+	total := e.ConstInt(0)
+	done := e.For(z, bm.Param(0), 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		cc := body.Call("CDBench", "frame")
+		body.ArithTo(total, ir.Add, total, cc)
+		return body
+	})
+	done.Ret(total)
+	finishMain(b, "CDBench")
+	return b.MustBuild()
+}

@@ -1,0 +1,358 @@
+package workloads
+
+import (
+	"fmt"
+
+	"nimage/internal/ir"
+)
+
+// serviceSpec sizes one synthetic microservice framework. The three specs
+// below model the startup profiles of micronaut, quarkus, and spring
+// helloworld applications: a dependency-injection container instantiates
+// beans on several startup threads, a router registers HTTP routes, and the
+// first request is answered (the respond intrinsic); everything else on the
+// classpath is cold.
+type serviceSpec struct {
+	name    string
+	fw      string // framework package prefix
+	beans   int    // beans instantiated during startup
+	beanOps int    // arithmetic work per bean initializer
+	routes  int    // routes registered before responding
+	workers int    // startup threads
+	// beanData objects are created per bean *clinit* at image build time
+	// (bean definitions, annotation metadata).
+	beanData int
+	pkgs     []pkgSpec
+	res      int
+	resBytes int
+}
+
+func micronautSpec() serviceSpec {
+	return serviceSpec{
+		name: "micronaut", fw: "io.micronaut",
+		beans: 130, beanOps: 26, routes: 12, workers: 4, beanData: 5,
+		pkgs: []pkgSpec{
+			{name: "io.micronaut.aop", classes: 24, methods: 7, body: 24, data: 12, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "io.micronaut.http", classes: 26, methods: 7, body: 26, data: 14, hotPeriod: 7, reads: 2, saltShare: 85},
+			{name: "io.micronaut.inject", classes: 24, methods: 6, body: 22, data: 16, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "io.micronaut.json", classes: 20, methods: 7, body: 24, data: 10, saltShare: 85},
+			{name: "io.netty.channel", classes: 26, methods: 6, body: 28, data: 10, hotPeriod: 9, reads: 2, saltShare: 85},
+			{name: "java.io", classes: 22, methods: 7, body: 22, data: 18, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "java.util.concurrent", classes: 22, methods: 6, body: 20, data: 10, saltShare: 85},
+		},
+		res: 6, resBytes: 8 * 1024,
+	}
+}
+
+func quarkusSpec() serviceSpec {
+	return serviceSpec{
+		name: "quarkus", fw: "io.quarkus",
+		// Quarkus moves more initialization to build time: fewer runtime
+		// beans, more build-time bean data in the snapshot.
+		beans: 80, beanOps: 22, routes: 10, workers: 3, beanData: 14,
+		pkgs: []pkgSpec{
+			{name: "io.quarkus.arc", classes: 24, methods: 7, body: 24, data: 18, hotPeriod: 9, reads: 2, saltShare: 85},
+			{name: "io.quarkus.vertx", classes: 26, methods: 6, body: 26, data: 14, hotPeriod: 10, reads: 2, saltShare: 85},
+			{name: "io.vertx.core", classes: 26, methods: 7, body: 26, data: 12, hotPeriod: 9, reads: 2, saltShare: 85},
+			{name: "io.quarkus.config", classes: 20, methods: 6, body: 22, data: 20, hotPeriod: 8, reads: 3, saltShare: 85},
+			{name: "java.io", classes: 22, methods: 7, body: 22, data: 18, saltShare: 85},
+			{name: "java.util.concurrent", classes: 22, methods: 6, body: 20, data: 10, saltShare: 85},
+		},
+		res: 8, resBytes: 10 * 1024,
+	}
+}
+
+func springSpec() serviceSpec {
+	return serviceSpec{
+		name: "spring", fw: "org.springframework",
+		// Spring: most classes, most runtime initialization.
+		beans: 200, beanOps: 30, routes: 16, workers: 4, beanData: 6,
+		pkgs: []pkgSpec{
+			{name: "org.springframework.beans", classes: 28, methods: 7, body: 26, data: 14, hotPeriod: 7, reads: 2, saltShare: 85},
+			{name: "org.springframework.context", classes: 28, methods: 7, body: 24, data: 14, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "org.springframework.web", classes: 26, methods: 7, body: 26, data: 12, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "org.springframework.core", classes: 24, methods: 6, body: 22, data: 16, hotPeriod: 7, reads: 2, saltShare: 85},
+			{name: "org.apache.tomcat", classes: 26, methods: 6, body: 28, data: 10, hotPeriod: 9, reads: 2, saltShare: 85},
+			{name: "java.io", classes: 22, methods: 7, body: 22, data: 18, saltShare: 85},
+			{name: "java.util.concurrent", classes: 22, methods: 6, body: 20, data: 10, saltShare: 85},
+			{name: "jakarta.servlet", classes: 20, methods: 6, body: 22, data: 12, saltShare: 85},
+		},
+		res: 10, resBytes: 12 * 1024,
+	}
+}
+
+// buildService constructs the helloworld program for one framework spec.
+func buildService(sp serviceSpec) *ir.Program {
+	b := ir.NewBuilder(sp.name)
+	addCoreLibrary(b)
+	addStartup(b, startupScale{
+		packages:      sp.pkgs,
+		resources:     sp.res,
+		resourceBytes: sp.resBytes,
+	})
+
+	fw := sp.fw
+
+	// The framework's configuration cache holds a build-dependent *number*
+	// of entries (conditional config expansion, generated adapters): the
+	// total object count of the image heap differs across builds, which is
+	// the kind of divergence that defeats encounter-order identities on
+	// the microservices (Sec. 7.2: incremental id reaches only ~1.14x, and
+	// 0.99x on quarkus).
+	cfgCls := fw + ".ConfigCache"
+	cc0 := b.Class(cfgCls)
+	cc0.Static("entries", ir.Ref(ClsArrayList))
+	cccl := cc0.Clinit()
+	cce := cccl.Entry()
+	cap48 := cce.ConstInt(48)
+	lst0 := cce.Call(ClsArrayList, "make", cap48)
+	saltN := cce.Intrinsic(ir.IntrinsicBuildSalt)
+	twelve := cce.ConstInt(12)
+	extra := cce.Arith(ir.Rem, cce.Arith(ir.And, saltN, cce.ConstInt(0xff)), twelve)
+	forty := cce.ConstInt(40)
+	total := cce.Arith(ir.Add, forty, extra)
+	zeroC := cce.ConstInt(0)
+	pfx := cce.Str(fw + ".config.entry#")
+	ccDone := cce.For(zeroC, total, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		sfx := body.Intrinsic(ir.IntrinsicItoa, i)
+		v := body.Intrinsic(ir.IntrinsicConcat, pfx, sfx)
+		body.CallVoid(ClsArrayList, "add", lst0, v)
+		return body
+	})
+	ccDone.PutStatic(cfgCls, "entries", lst0)
+	ccDone.RetVoid()
+	// Beans live scattered across the framework packages (as real beans
+	// do), so the executed startup code spreads over the alphabetical
+	// .text layout — the scattering the cu strategy compacts (Fig. 6).
+	clsBean := func(i int) string {
+		pkg := sp.pkgs[i%len(sp.pkgs)].name
+		return fmt.Sprintf("%s.RuntimeBean%03d", pkg, i)
+	}
+	clsContainer := fw + ".Container"
+	clsRouter := fw + ".Router"
+	clsServer := fw + ".Server"
+
+	// Bean classes: a clinit creating bean-definition metadata (image
+	// heap), and a setup method doing initialization work at startup.
+	for i := 0; i < sp.beans; i++ {
+		c := b.Class(clsBean(i))
+		c.Field("state", ir.Int())
+		c.Static("definition", ir.Array(refObj()))
+		c.Static("definitionAlt", ir.Array(refObj()))
+
+		cl := c.Clinit()
+		e := cl.Entry()
+		n := e.ConstInt(int64(sp.beanData))
+		arr := e.NewArray(refObj(), n)
+		zero := e.ConstInt(0)
+		name := e.Str(clsBean(i) + "$Definition")
+		// Frameworks capture build-dependent values in their bean metadata
+		// (generated-class hashes, config timestamps): every definition
+		// string embeds a build-salted suffix, which is what defeats
+		// content-based object identities on the microservices (Sec. 7.2:
+		// structural hash achieves only 1.03x there).
+		salt := e.Intrinsic(ir.IntrinsicBuildSalt)
+		mask := e.ConstInt(0xffff)
+		salted := e.Arith(ir.And, salt, mask)
+		suffix := e.Intrinsic(ir.IntrinsicItoa, salted)
+		exit := e.For(zero, n, 1, func(body *ir.BlockBuilder, k ir.Reg) *ir.BlockBuilder {
+			s := body.Intrinsic(ir.IntrinsicItoa, k)
+			v := body.Intrinsic(ir.IntrinsicConcat, name, s)
+			v2 := body.Intrinsic(ir.IntrinsicConcat, v, suffix)
+			body.ASet(arr, k, v2)
+			return body
+		})
+		salt2 := exit.Intrinsic(ir.IntrinsicBuildSalt)
+		k3 := exit.ConstInt(3)
+		altC := exit.Cmp(ir.Eq, exit.Arith(ir.And, salt2, k3), exit.ConstInt(0))
+		cn := clsBean(i)
+		fin := exit.IfElse(altC,
+			func(th *ir.BlockBuilder) *ir.BlockBuilder {
+				th.PutStatic(cn, "definitionAlt", arr)
+				return th
+			},
+			func(el *ir.BlockBuilder) *ir.BlockBuilder {
+				el.PutStatic(cn, "definition", arr)
+				return el
+			})
+		fin.RetVoid()
+
+		// Small accessor methods: the inliner absorbs them into setup, so
+		// their own CUs never execute — but method-entry traces still list
+		// them, and the method strategy wastes hot-region space on their
+		// CUs (the Sec. 4 ambiguity; one reason method ordering trails cu
+		// ordering on the microservices, Fig. 3).
+		for g := 0; g < 3; g++ {
+			gm := c.StaticMethod(fmt.Sprintf("attr%d", g), 1, ir.Int())
+			ge := gm.Entry()
+			gacc := ge.Move(gm.Param(0))
+			for k := 0; k < 5; k++ {
+				kc := ge.ConstInt(int64(i*7 + g*3 + k))
+				ge.ArithTo(gacc, ir.Add, gacc, kc)
+			}
+			ge.Ret(gacc)
+		}
+
+		m := c.StaticMethod("setup", 1, ir.Int())
+		me := m.Entry()
+		acc := me.Move(m.Param(0))
+		for g := 0; g < 3; g++ {
+			r := me.Call(clsBean(i), fmt.Sprintf("attr%d", g), acc)
+			me.MoveTo(acc, r)
+		}
+		for k := 0; k < sp.beanOps; k++ {
+			kc := me.ConstInt(int64(i*13 + k))
+			op := ir.Add
+			if k%4 == 1 {
+				op = ir.Xor
+			} else if k%4 == 3 {
+				op = ir.Mul
+			}
+			me.ArithTo(acc, op, acc, kc)
+		}
+		// Read this bean's definition (startup heap accesses that touch
+		// the definition array and its first string).
+		defA := me.GetStatic(clsBean(i), "definition")
+		defB := me.GetStatic(clsBean(i), "definitionAlt")
+		nl := me.Null()
+		useAlt := me.Cmp(ir.Eq, defA, nl)
+		def := me.NewReg()
+		me2 := me.IfElse(useAlt,
+			func(th *ir.BlockBuilder) *ir.BlockBuilder {
+				th.MoveTo(def, defB)
+				return th
+			},
+			func(el *ir.BlockBuilder) *ir.BlockBuilder {
+				el.MoveTo(def, defA)
+				return el
+			})
+		z := me2.ConstInt(0)
+		s0 := me2.AGet(def, z)
+		ln := me2.Intrinsic(ir.IntrinsicStrLen, s0)
+		me2.ArithTo(acc, ir.Add, acc, ln)
+		me2.Ret(acc)
+	}
+
+	// Worker groups: each startup thread initializes one partition of the
+	// beans in a generated straight-line initializer.
+	per := (sp.beans + sp.workers - 1) / sp.workers
+	for w := 0; w < sp.workers; w++ {
+		c := b.Class(fmt.Sprintf("%s.BeanGroup%d", fw, w))
+		m := c.StaticMethod("initAll", 1, ir.Int())
+		e := m.Entry()
+		acc := e.Move(m.Param(0))
+		for i := w * per; i < (w+1)*per && i < sp.beans; i++ {
+			r := e.Call(clsBean(i), "setup", acc)
+			e.MoveTo(acc, r)
+		}
+		e.Ret(acc)
+	}
+
+	// Container: registry plus the worker entry point.
+	cont := b.Class(clsContainer)
+	cont.Static("registry", ir.Ref(ClsHashMap))
+	cont.Static("done", ir.Array(ir.Int()))
+
+	ccl := cont.Clinit()
+	ce := ccl.Entry()
+	cap64 := ce.ConstInt(64)
+	reg := ce.Call(ClsHashMap, "make", cap64)
+	ce.PutStatic(clsContainer, "registry", reg)
+	nw := ce.ConstInt(int64(sp.workers))
+	flags := ce.NewArray(ir.Int(), nw)
+	ce.PutStatic(clsContainer, "done", flags)
+	ce.RetVoid()
+
+	wk := cont.StaticMethod("worker", 1, ir.Void())
+	we := wk.Entry()
+	slot := wk.Param(0)
+	// Dispatch to this worker's bean group.
+	cur := we
+	for w := 0; w < sp.workers; w++ {
+		wc := cur.ConstInt(int64(w))
+		is := cur.Cmp(ir.Eq, slot, wc)
+		cur = cur.IfThen(is, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+			one := th.ConstInt(1)
+			th.Call(fmt.Sprintf("%s.BeanGroup%d", fw, w), "initAll", one)
+			return th
+		})
+	}
+	fl := cur.GetStatic(clsContainer, "done")
+	one := cur.ConstInt(1)
+	cur.ASet(fl, slot, one)
+	cur.RetVoid()
+
+	// awaitWorkers(): deterministic busy-wait with yields.
+	aw := cont.StaticMethod("awaitWorkers", 0, ir.Void())
+	ae := aw.Entry()
+	fl2 := ae.GetStatic(clsContainer, "done")
+	nw2 := ae.ALen(fl2)
+	zero := ae.ConstInt(0)
+	loop := aw.NewBlock()
+	check := aw.NewBlock()
+	doneB := aw.NewBlock()
+	ae.Goto(loop)
+	cnt := loop.ConstInt(0)
+	sum := loop.For(zero, nw2, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		v := body.AGet(fl2, i)
+		body.ArithTo(cnt, ir.Add, cnt, v)
+		return body
+	})
+	all := sum.Cmp(ir.Ge, cnt, nw2)
+	sum.If(all, doneB, check)
+	check.IntrinsicVoid(ir.IntrinsicYield)
+	check.Goto(loop)
+	doneB.RetVoid()
+
+	// Router: registers route table at startup.
+	rt := b.Class(clsRouter)
+	rt.Static("routes", ir.Ref(ClsHashMap))
+	rm := rt.StaticMethod("register", 0, ir.Void())
+	re := rm.Entry()
+	cap32 := re.ConstInt(32)
+	table := re.Call(ClsHashMap, "make", cap32)
+	hello := re.Str("helloworld")
+	for i := 0; i < sp.routes; i++ {
+		path := re.Str(fmt.Sprintf("/api/v1/route-%02d", i))
+		pi := re.Intrinsic(ir.IntrinsicIntern, path)
+		re.CallVoid(ClsHashMap, "put", table, pi, hello)
+	}
+	re.PutStatic(clsRouter, "routes", table)
+	re.RetVoid()
+
+	// handle(path): the request handler that produces the first response.
+	hm := rt.StaticMethod("handle", 1, ir.Void())
+	he := hm.Entry()
+	table2 := he.GetStatic(clsRouter, "routes")
+	body := he.Call(ClsHashMap, "get", table2, hm.Param(0))
+	he.IntrinsicVoid(ir.IntrinsicPrint, body)
+	he.IntrinsicVoid(ir.IntrinsicRespond)
+	he.RetVoid()
+
+	// Server.main: runtime init, spawn workers, await, register routes,
+	// serve the first request.
+	srv := b.Class(clsServer)
+	mm := srv.StaticMethod("main", 0, ir.Void())
+	e := mm.Entry()
+	emitRuntimeInit(e)
+	cfgLst := e.GetStatic(cfgCls, "entries")
+	zc := e.ConstInt(0)
+	e.Call(ClsArrayList, "get", cfgLst, zc)
+	for _, prop := range []string{"user.timezone", "file.encoding"} {
+		pr := e.Str(prop)
+		e.Call(ClsSystem, "getProperty", pr)
+	}
+	for w := 0; w < sp.workers; w++ {
+		wc := e.ConstInt(int64(w))
+		e.Spawn(clsContainer+".worker", wc)
+	}
+	e.CallVoid(clsContainer, "awaitWorkers")
+	e.CallVoid(clsRouter, "register")
+	first := e.Str("/api/v1/route-00")
+	fi := e.Intrinsic(ir.IntrinsicIntern, first)
+	e.CallVoid(clsRouter, "handle", fi)
+	e.RetVoid()
+	b.SetEntry(clsServer, "main")
+
+	return b.MustBuild()
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"fmt"
+
+	"nimage/internal/ir"
+)
+
+// ClsStartup is the runtime-initialization entry every workload calls
+// first; it stands in for the Native-Image/SubstrateVM startup internals,
+// which the paper's profiler observes even "during the initialization of
+// the execution environment" (Sec. 6.1).
+const ClsStartup = "svm.Startup"
+
+// startupScale sizes the synthetic runtime around a workload.
+type startupScale struct {
+	// packages are the generated library subsystems (hot startup code
+	// interleaved with reachable-but-cold code).
+	packages []pkgSpec
+	// resources count/size embedded resource blobs.
+	resources     int
+	resourceBytes int
+}
+
+// awfyScale is the runtime surrounding AWFY benchmarks: a JDK-ish set of
+// cold subsystems.
+func awfyScale() startupScale {
+	return startupScale{
+		packages: []pkgSpec{
+			{name: "java.io", classes: 16, methods: 8, body: 26, data: 14, hotPeriod: 4, reads: 2},
+			{name: "java.nio", classes: 14, methods: 8, body: 28, data: 12, hotPeriod: 5, reads: 2},
+			{name: "java.util.regex", classes: 12, methods: 8, body: 30, data: 10},
+			{name: "java.util.concurrent", classes: 14, methods: 7, body: 24, data: 10, hotPeriod: 6, reads: 2},
+			{name: "java.text", classes: 12, methods: 7, body: 26, data: 18, hotPeriod: 4, reads: 3},
+			{name: "java.time", classes: 12, methods: 7, body: 24, data: 14, hotPeriod: 5, reads: 2},
+			{name: "sun.security", classes: 14, methods: 8, body: 28, data: 12, hotPeriod: 6, reads: 2},
+			{name: "svm.gc", classes: 8, methods: 7, body: 30, data: 8, hotPeriod: 3, reads: 2},
+			{name: "svm.jni", classes: 8, methods: 6, body: 26, data: 8, hotPeriod: 4, reads: 2},
+			{name: "svm.reflect", classes: 10, methods: 7, body: 26, data: 12},
+		},
+		resources:     4,
+		resourceBytes: 6 * 1024,
+	}
+}
+
+// addStartup declares svm.Startup. The executed path initializes the
+// runtime (reads properties, builds the args list, touches encoder
+// tables); the cold packages are referenced behind never-taken branches so
+// the conservative analysis includes them (Sec. 2).
+func addStartup(b *ir.Builder, scale startupScale) {
+	boots := addPackages(b, scale.packages)
+	for i := 0; i < scale.resources; i++ {
+		b.Resource(fmt.Sprintf("META-INF/resource-%d.bin", i), scale.resourceBytes)
+	}
+
+	c := b.Class(ClsStartup)
+	c.Static("initialized", ir.Int())
+	c.Static("argsList", ir.Ref(ClsArrayList))
+	c.Static("encoder", ir.Array(ir.Int()))
+	c.Static("banner", ir.String())
+
+	// The clinit prepares startup data consumed by the executed path.
+	cl := c.Clinit()
+	e := cl.Entry()
+	n := e.ConstInt(512)
+	enc := e.NewArray(ir.Int(), n)
+	zero := e.ConstInt(0)
+	k13 := e.ConstInt(13)
+	k251 := e.ConstInt(251)
+	exit := e.For(zero, n, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		v := body.Arith(ir.Mul, i, k13)
+		v2 := body.Arith(ir.Rem, v, k251)
+		body.ASet(enc, i, v2)
+		return body
+	})
+	exit.PutStatic(ClsStartup, "encoder", enc)
+	ban := exit.Str("SubstrateVM native image")
+	bi := exit.Intrinsic(ir.IntrinsicIntern, ban)
+	exit.PutStatic(ClsStartup, "banner", bi)
+	exit.RetVoid()
+
+	// initialize(flags): the hot runtime-startup path.
+	init := c.StaticMethod("initialize", 1, ir.Void())
+	ie := init.Entry()
+	// Idempotence guard.
+	done := ie.GetStatic(ClsStartup, "initialized")
+	ret := init.NewBlock()
+	ret.RetVoid()
+	work := init.NewBlock()
+	ie.If(done, ret, work)
+
+	one := work.ConstInt(1)
+	work.PutStatic(ClsStartup, "initialized", one)
+	// Read a handful of properties, as the VM startup does.
+	for _, prop := range []string{"java.vm.name", "file.encoding", "user.dir", "user.timezone"} {
+		pr := work.Str(prop)
+		work.Call(ClsSystem, "getProperty", pr)
+	}
+	// Build the argument list.
+	four := work.ConstInt(4)
+	lst := work.Call(ClsArrayList, "make", four)
+	a0 := work.Str("app")
+	work.CallVoid(ClsArrayList, "add", lst, a0)
+	work.PutStatic(ClsStartup, "argsList", lst)
+	// Boot every library subsystem: the hot startup methods execute
+	// (scattered across the namespace), the cold remainder stays behind
+	// never-taken branches inside the boots.
+	seedAcc := work.ConstInt(1)
+	for _, boot := range boots {
+		cls, meth := splitTarget(boot)
+		r := work.Call(cls, meth, seedAcc)
+		work.MoveTo(seedAcc, r)
+	}
+	// Touch part of the encoder table.
+	enc2 := work.GetStatic(ClsStartup, "encoder")
+	sixteen := work.ConstInt(16)
+	zero2 := work.ConstInt(0)
+	sum := work.ConstInt(0)
+	after := work.For(zero2, sixteen, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		v := body.AGet(enc2, i)
+		body.ArithTo(sum, ir.Add, sum, v)
+		return body
+	})
+	after.RetVoid()
+}
+
+// splitTarget splits "pkg.Class.method" at the final dot.
+func splitTarget(t string) (string, string) {
+	for i := len(t) - 1; i >= 0; i-- {
+		if t[i] == '.' {
+			return t[:i], t[i+1:]
+		}
+	}
+	return t, ""
+}
+
+// emitRuntimeInit emits the standard prologue of a workload main: call
+// Startup.initialize(0).
+func emitRuntimeInit(e *ir.BlockBuilder) {
+	zero := e.ConstInt(0)
+	e.CallVoid(ClsStartup, "initialize", zero)
+}

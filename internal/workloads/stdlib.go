@@ -1,0 +1,363 @@
+// Package workloads defines the benchmark programs of the evaluation
+// (Sec. 7.1): the 14 "Are We Fast Yet?" benchmarks and three synthetic
+// microservice frameworks (micronaut/quarkus/spring helloworld), all
+// written in the mini-IR and linked against a shared synthetic core
+// library.
+//
+// The core library plays the role of the JDK and the Native-Image runtime
+// internals: collections implemented in IR, class initializers that build
+// realistic heap-snapshot contents (string tables, caches, property maps,
+// salted seeds), and large reachable-but-rarely-executed subsystems, so
+// that binaries contain far more code and objects than a run touches —
+// matching the paper's observation that AWFY accesses only ~4% of the
+// snapshot (Sec. 7.2).
+package workloads
+
+import "nimage/internal/ir"
+
+// Common class names.
+const (
+	ClsObject        = "java.lang.Object"
+	ClsString        = ir.StringClass
+	ClsStringBuilder = "java.lang.StringBuilder"
+	ClsInteger       = "java.lang.Integer"
+	ClsArrayList     = "java.util.ArrayList"
+	ClsHashMap       = "java.util.HashMap"
+	ClsEntry         = "java.util.HashMap$Node"
+	ClsRandom        = "java.util.Random"
+	ClsSystem        = "java.lang.System"
+)
+
+// refObj is the declared type of generic container slots.
+func refObj() ir.TypeRef { return ir.Ref(ClsObject) }
+
+// addCoreLibrary declares the shared mini-JDK classes.
+func addCoreLibrary(b *ir.Builder) {
+	b.Class(ClsObject)
+	b.Class(ClsString)
+	addInteger(b)
+	addStringBuilder(b)
+	addArrayList(b)
+	addHashMap(b)
+	addRandom(b)
+	addSystem(b)
+}
+
+// addInteger declares java.lang.Integer with the boxed-value cache its
+// clinit populates (256 small objects in the image heap, like the JDK's
+// IntegerCache).
+func addInteger(b *ir.Builder) {
+	c := b.Class(ClsInteger)
+	c.Field("value", ir.Int())
+	c.Static("cache", ir.Array(ir.Ref(ClsInteger)))
+
+	cl := c.Clinit()
+	e := cl.Entry()
+	n := e.ConstInt(256)
+	arr := e.NewArray(ir.Ref(ClsInteger), n)
+	zero := e.ConstInt(0)
+	low := e.ConstInt(-128)
+	exit := e.For(zero, n, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		o := body.New(ClsInteger)
+		v := body.Arith(ir.Add, i, low)
+		body.PutField(o, ClsInteger, "value", v)
+		body.ASet(arr, i, o)
+		return body
+	})
+	exit.PutStatic(ClsInteger, "cache", arr)
+	exit.RetVoid()
+
+	// valueOf(v): cached instance for [-128,128), fresh box otherwise.
+	vo := c.StaticMethod("valueOf", 1, ir.Ref(ClsInteger))
+	ve := vo.Entry()
+	v := vo.Param(0)
+	lo := ve.ConstInt(-128)
+	hi := ve.ConstInt(128)
+	inLo := ve.Cmp(ir.Ge, v, lo)
+	inHi := ve.Cmp(ir.Lt, v, hi)
+	both := ve.Arith(ir.And, inLo, inHi)
+	cached := vo.NewBlock()
+	fresh := vo.NewBlock()
+	ve.If(both, cached, fresh)
+	arr2 := cached.GetStatic(ClsInteger, "cache")
+	idx := cached.Arith(ir.Sub, v, lo)
+	// Re-derive -128 in this block: registers are method-scoped, reuse lo.
+	cached.Ret(cached.AGet(arr2, idx))
+	o := fresh.New(ClsInteger)
+	fresh.PutField(o, ClsInteger, "value", v)
+	fresh.Ret(o)
+
+	iv := c.Method("intValue", 0, ir.Int())
+	ie := iv.Entry()
+	ie.Ret(ie.GetField(iv.This(), ClsInteger, "value"))
+
+	// box(v): always-fresh boxed integer (the non-caching allocation path,
+	// used by build-time table construction).
+	bx := c.StaticMethod("box", 1, ir.Ref(ClsInteger))
+	be := bx.Entry()
+	ob := be.New(ClsInteger)
+	be.PutField(ob, ClsInteger, "value", bx.Param(0))
+	be.Ret(ob)
+}
+
+// addStringBuilder declares a minimal StringBuilder over the concat
+// intrinsic.
+func addStringBuilder(b *ir.Builder) {
+	c := b.Class(ClsStringBuilder)
+	c.Field("buf", ir.String())
+
+	mk := c.StaticMethod("make", 0, ir.Ref(ClsStringBuilder))
+	me := mk.Entry()
+	o := me.New(ClsStringBuilder)
+	empty := me.Str("")
+	me.PutField(o, ClsStringBuilder, "buf", empty)
+	me.Ret(o)
+
+	ap := c.Method("append", 1, ir.Ref(ClsStringBuilder))
+	ae := ap.Entry()
+	cur := ae.GetField(ap.This(), ClsStringBuilder, "buf")
+	nw := ae.Intrinsic(ir.IntrinsicConcat, cur, ap.Param(0))
+	ae.PutField(ap.This(), ClsStringBuilder, "buf", nw)
+	ae.Ret(ap.This())
+
+	ai := c.Method("appendInt", 1, ir.Ref(ClsStringBuilder))
+	aie := ai.Entry()
+	s := aie.Intrinsic(ir.IntrinsicItoa, ai.Param(0))
+	cur2 := aie.GetField(ai.This(), ClsStringBuilder, "buf")
+	nw2 := aie.Intrinsic(ir.IntrinsicConcat, cur2, s)
+	aie.PutField(ai.This(), ClsStringBuilder, "buf", nw2)
+	aie.Ret(ai.This())
+
+	ts := c.Method("build", 0, ir.String())
+	te := ts.Entry()
+	te.Ret(te.GetField(ts.This(), ClsStringBuilder, "buf"))
+}
+
+// addArrayList declares a growable list of object references.
+func addArrayList(b *ir.Builder) {
+	c := b.Class(ClsArrayList)
+	c.Field("data", ir.Array(refObj()))
+	c.Field("count", ir.Int())
+
+	mk := c.StaticMethod("make", 1, ir.Ref(ClsArrayList))
+	me := mk.Entry()
+	o := me.New(ClsArrayList)
+	one := me.ConstInt(1)
+	cap0 := me.Move(mk.Param(0))
+	small := me.Cmp(ir.Lt, cap0, one)
+	fix := me.IfThen(small, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+		th.MoveTo(cap0, one)
+		return th
+	})
+	arr := fix.NewArray(refObj(), cap0)
+	fix.PutField(o, ClsArrayList, "data", arr)
+	zero := fix.ConstInt(0)
+	fix.PutField(o, ClsArrayList, "count", zero)
+	fix.Ret(o)
+
+	// add(o): grow by doubling when full.
+	ad := c.Method("add", 1, ir.Void())
+	ae := ad.Entry()
+	data := ae.GetField(ad.This(), ClsArrayList, "data")
+	cnt := ae.GetField(ad.This(), ClsArrayList, "count")
+	capN := ae.ALen(data)
+	full := ae.Cmp(ir.Ge, cnt, capN)
+	grown := ae.IfThen(full, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+		two := th.ConstInt(2)
+		ncap := th.Arith(ir.Mul, capN, two)
+		narr := th.NewArray(refObj(), ncap)
+		zero2 := th.ConstInt(0)
+		cp := th.For(zero2, cnt, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+			v := body.AGet(data, i)
+			body.ASet(narr, i, v)
+			return body
+		})
+		cp.PutField(ad.This(), ClsArrayList, "data", narr)
+		cp.MoveTo(data, narr)
+		return cp
+	})
+	grown.ASet(data, cnt, ad.Param(0))
+	one2 := grown.ConstInt(1)
+	ncnt := grown.Arith(ir.Add, cnt, one2)
+	grown.PutField(ad.This(), ClsArrayList, "count", ncnt)
+	grown.RetVoid()
+
+	gt := c.Method("get", 1, refObj())
+	ge := gt.Entry()
+	d2 := ge.GetField(gt.This(), ClsArrayList, "data")
+	ge.Ret(ge.AGet(d2, gt.Param(0)))
+
+	st := c.Method("set", 2, ir.Void())
+	se := st.Entry()
+	d3 := se.GetField(st.This(), ClsArrayList, "data")
+	se.ASet(d3, st.Param(0), st.Param(1))
+	se.RetVoid()
+
+	sz := c.Method("size", 0, ir.Int())
+	ze := sz.Entry()
+	ze.Ret(ze.GetField(sz.This(), ClsArrayList, "count"))
+}
+
+// addHashMap declares a chained hash map with string keys (power-of-two
+// bucket count).
+func addHashMap(b *ir.Builder) {
+	n := b.Class(ClsEntry)
+	n.Field("key", ir.String())
+	n.Field("val", refObj())
+	n.Field("next", ir.Ref(ClsEntry))
+
+	c := b.Class(ClsHashMap)
+	c.Field("buckets", ir.Array(ir.Ref(ClsEntry)))
+	c.Field("count", ir.Int())
+
+	mk := c.StaticMethod("make", 1, ir.Ref(ClsHashMap))
+	me := mk.Entry()
+	o := me.New(ClsHashMap)
+	arr := me.NewArray(ir.Ref(ClsEntry), mk.Param(0))
+	me.PutField(o, ClsHashMap, "buckets", arr)
+	zero := me.ConstInt(0)
+	me.PutField(o, ClsHashMap, "count", zero)
+	me.Ret(o)
+
+	// put(key, val): replace in chain or prepend.
+	put := c.Method("put", 2, ir.Void())
+	pe := put.Entry()
+	key := put.Param(0)
+	val := put.Param(1)
+	bks := pe.GetField(put.This(), ClsHashMap, "buckets")
+	h := pe.Intrinsic(ir.IntrinsicStrHash, key)
+	nb := pe.ALen(bks)
+	one := pe.ConstInt(1)
+	mask := pe.Arith(ir.Sub, nb, one)
+	idx := pe.Arith(ir.And, h, mask)
+	e := pe.Move(pe.AGet(bks, idx))
+
+	loopHead := put.NewBlock()
+	loopBody := put.NewBlock()
+	replace := put.NewBlock()
+	advance := put.NewBlock()
+	insert := put.NewBlock()
+	pe.Goto(loopHead)
+	nl := loopHead.Null()
+	nonNull := loopHead.Cmp(ir.Ne, e, nl)
+	loopHead.If(nonNull, loopBody, insert)
+	ek := loopBody.GetField(e, ClsEntry, "key")
+	same := loopBody.Intrinsic(ir.IntrinsicStrEq, ek, key)
+	loopBody.If(same, replace, advance)
+	replace.PutField(e, ClsEntry, "val", val)
+	replace.RetVoid()
+	nxt := advance.GetField(e, ClsEntry, "next")
+	advance.MoveTo(e, nxt)
+	advance.Goto(loopHead)
+	ne := insert.New(ClsEntry)
+	insert.PutField(ne, ClsEntry, "key", key)
+	insert.PutField(ne, ClsEntry, "val", val)
+	head := insert.AGet(bks, idx)
+	insert.PutField(ne, ClsEntry, "next", head)
+	insert.ASet(bks, idx, ne)
+	cnt := insert.GetField(put.This(), ClsHashMap, "count")
+	one2 := insert.ConstInt(1)
+	ncnt := insert.Arith(ir.Add, cnt, one2)
+	insert.PutField(put.This(), ClsHashMap, "count", ncnt)
+	insert.RetVoid()
+
+	// get(key): chain lookup, null when absent.
+	get := c.Method("get", 1, refObj())
+	ge := get.Entry()
+	gkey := get.Param(0)
+	gbks := ge.GetField(get.This(), ClsHashMap, "buckets")
+	gh := ge.Intrinsic(ir.IntrinsicStrHash, gkey)
+	gn := ge.ALen(gbks)
+	gone := ge.ConstInt(1)
+	gmask := ge.Arith(ir.Sub, gn, gone)
+	gidx := ge.Arith(ir.And, gh, gmask)
+	gcur := ge.Move(ge.AGet(gbks, gidx))
+
+	gHead := get.NewBlock()
+	gBody := get.NewBlock()
+	gFound := get.NewBlock()
+	gNext := get.NewBlock()
+	gMiss := get.NewBlock()
+	ge.Goto(gHead)
+	gnl := gHead.Null()
+	gnn := gHead.Cmp(ir.Ne, gcur, gnl)
+	gHead.If(gnn, gBody, gMiss)
+	gk := gBody.GetField(gcur, ClsEntry, "key")
+	geq := gBody.Intrinsic(ir.IntrinsicStrEq, gk, gkey)
+	gBody.If(geq, gFound, gNext)
+	gFound.Ret(gFound.GetField(gcur, ClsEntry, "val"))
+	gnx := gNext.GetField(gcur, ClsEntry, "next")
+	gNext.MoveTo(gcur, gnx)
+	gNext.Goto(gHead)
+	gMiss.Ret(gMiss.Null())
+
+	sz := c.Method("size", 0, ir.Int())
+	se := sz.Entry()
+	se.Ret(se.GetField(sz.This(), ClsHashMap, "count"))
+}
+
+// addRandom declares the deterministic LCG used by AWFY's Storage and CD.
+func addRandom(b *ir.Builder) {
+	c := b.Class(ClsRandom)
+	c.Field("seed", ir.Int())
+
+	mk := c.StaticMethod("make", 1, ir.Ref(ClsRandom))
+	me := mk.Entry()
+	o := me.New(ClsRandom)
+	me.PutField(o, ClsRandom, "seed", mk.Param(0))
+	me.Ret(o)
+
+	// next(): seed = (seed*1309+13849) & 0xffff (the AWFY generator).
+	nx := c.Method("next", 0, ir.Int())
+	ne := nx.Entry()
+	s := ne.GetField(nx.This(), ClsRandom, "seed")
+	a := ne.ConstInt(1309)
+	cc := ne.ConstInt(13849)
+	m := ne.ConstInt(0xffff)
+	t1 := ne.Arith(ir.Mul, s, a)
+	t2 := ne.Arith(ir.Add, t1, cc)
+	t3 := ne.Arith(ir.And, t2, m)
+	ne.PutField(nx.This(), ClsRandom, "seed", t3)
+	ne.Ret(t3)
+}
+
+// addSystem declares java.lang.System with a property table built at image
+// build time. A few properties are build-salted (timestamps, seeds), one
+// of the heap-divergence sources of Sec. 2.
+func addSystem(b *ir.Builder) {
+	c := b.Class(ClsSystem)
+	c.Static("props", ir.Ref(ClsHashMap))
+	c.Static("lineSep", ir.String())
+	c.Static("bootTime", ir.Int())
+
+	cl := c.Clinit()
+	e := cl.Entry()
+	cap0 := e.ConstInt(64)
+	m := e.Call(ClsHashMap, "make", cap0)
+	props := [][2]string{
+		{"java.version", "21"}, {"os.name", "Linux"}, {"os.arch", "amd64"},
+		{"file.encoding", "UTF-8"}, {"user.dir", "/srv/app"},
+		{"java.vm.name", "SubstrateVM"}, {"path.separator", ":"},
+		{"user.language", "en"}, {"user.timezone", "UTC"},
+		{"java.io.tmpdir", "/tmp"}, {"sun.arch.data.model", "64"},
+		{"native.image.kind", "executable"},
+	}
+	for _, kv := range props {
+		k, v := kv[0], kv[1]
+		kr := e.Str(k)
+		ki := e.Intrinsic(ir.IntrinsicIntern, kr)
+		vr := e.Str(v)
+		e.CallVoid(ClsHashMap, "put", m, ki, vr)
+	}
+	e.PutStatic(ClsSystem, "props", m)
+	sep := e.Str("\n")
+	e.PutStatic(ClsSystem, "lineSep", sep)
+	salt := e.Intrinsic(ir.IntrinsicBuildSalt)
+	e.PutStatic(ClsSystem, "bootTime", salt)
+	e.RetVoid()
+
+	gp := c.StaticMethod("getProperty", 1, ir.String())
+	ge := gp.Entry()
+	pm := ge.GetStatic(ClsSystem, "props")
+	ge.Ret(ge.Call(ClsHashMap, "get", pm, gp.Param(0)))
+}

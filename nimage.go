@@ -1,0 +1,288 @@
+// Package nimage is a simulated GraalVM Native Image toolchain that
+// reproduces the system of "Improving Native-Image Startup Performance"
+// (Basso, Prokopec, Rosà, Binder — CGO 2025): profile-guided reordering of
+// a binary's code (.text) and heap-snapshot (.svm_heap) sections to reduce
+// the page faults of cold program starts.
+//
+// The package is a façade over the toolchain's subsystems:
+//
+//   - programs are written in a register-based object-oriented mini-IR
+//     (NewProgramBuilder) or taken from the built-in benchmark suite
+//     (AWFY, Microservices — the workloads of the paper's evaluation);
+//   - BuildImage compiles a program into a binary image: a size-driven
+//     inliner forms compilation units, class initializers execute at build
+//     time, and the resulting heap is snapshotted into the image;
+//   - ProfileAndOptimize runs the paper's full methodology (Fig. 1):
+//     instrumented build → tracing profiling run (Ball–Larus path tracing
+//     with path cutting) → post-processing into ordering profiles →
+//     profile-guided optimized build, for any of the Strategies;
+//   - images execute on a simulated OS (page cache, demand paging,
+//     fault-around) so page faults per section and cold-start time are
+//     measured deterministically;
+//   - NewHarness reproduces the paper's evaluation: Figures 2–5, the
+//     profiling-overhead table, the accessed-object fraction, and the
+//     Fig. 6 page-grid visualization.
+//
+// See the runnable programs under examples/ for typical usage, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package nimage
+
+import (
+	"nimage/internal/core"
+	"nimage/internal/eval"
+	"nimage/internal/graal"
+	"nimage/internal/heap"
+	"nimage/internal/image"
+	"nimage/internal/ir"
+	"nimage/internal/osim"
+	"nimage/internal/profiler"
+	"nimage/internal/textviz"
+	"nimage/internal/vm"
+	"nimage/internal/workloads"
+)
+
+// Program construction (the mini-IR).
+
+// Program is a resolved program of the mini object language.
+type Program = ir.Program
+
+// ProgramBuilder constructs programs through the embedded DSL.
+type ProgramBuilder = ir.Builder
+
+// NewProgramBuilder starts building a program.
+func NewProgramBuilder(name string) *ProgramBuilder { return ir.NewBuilder(name) }
+
+// Method is one method of a program.
+type Method = ir.Method
+
+// Disassemble renders a method body in readable textual form.
+func Disassemble(m *Method) string { return ir.Disassemble(m) }
+
+// ClassBuilder, MethodBuilder, and BlockBuilder construct classes, methods,
+// and basic blocks through the DSL.
+type (
+	ClassBuilder  = ir.ClassBuilder
+	MethodBuilder = ir.MethodBuilder
+	BlockBuilder  = ir.BlockBuilder
+)
+
+// Reg names a virtual register of a method under construction.
+type Reg = ir.Reg
+
+// TypeRef names an IR type.
+type TypeRef = ir.TypeRef
+
+// Type constructors of the mini-IR.
+func IntType() TypeRef               { return ir.Int() }
+func FloatType() TypeRef             { return ir.Float() }
+func VoidType() TypeRef              { return ir.Void() }
+func StringType() TypeRef            { return ir.String() }
+func RefType(name string) TypeRef    { return ir.Ref(name) }
+func ArrayType(elem TypeRef) TypeRef { return ir.Array(elem) }
+
+// Arithmetic and comparison operators of the DSL.
+const (
+	OpAdd = ir.Add
+	OpSub = ir.Sub
+	OpMul = ir.Mul
+	OpDiv = ir.Div
+	OpRem = ir.Rem
+	OpAnd = ir.And
+	OpOr  = ir.Or
+	OpXor = ir.Xor
+
+	CmpEq = ir.Eq
+	CmpNe = ir.Ne
+	CmpLt = ir.Lt
+	CmpLe = ir.Le
+	CmpGt = ir.Gt
+	CmpGe = ir.Ge
+)
+
+// Image building.
+
+// Image is a built Native-Image binary plus its metadata.
+type Image = image.Image
+
+// BuildOptions configures a single image build.
+type BuildOptions = image.Options
+
+// Build kinds (BuildOptions.Kind).
+const (
+	KindRegular      = image.KindRegular
+	KindInstrumented = image.KindInstrumented
+	KindOptimized    = image.KindOptimized
+)
+
+// CompilerConfig holds the simulated compiler's tuning knobs.
+type CompilerConfig = graal.Config
+
+// DefaultCompilerConfig returns the evaluation defaults.
+func DefaultCompilerConfig() CompilerConfig { return graal.DefaultConfig() }
+
+// BuildImage builds one image of a program.
+func BuildImage(p *Program, opts BuildOptions) (*Image, error) { return image.Build(p, opts) }
+
+// The profile-guided pipeline (Fig. 1 of the paper).
+
+// PipelineOptions configures ProfileAndOptimize.
+type PipelineOptions = image.PipelineOptions
+
+// PipelineResult is the outcome of the pipeline: the optimized image plus
+// the profiling-run reports.
+type PipelineResult = image.PipelineResult
+
+// ProfileAndOptimize runs instrumented build → profiling run →
+// post-processing → optimized build for one ordering strategy.
+func ProfileAndOptimize(p *Program, opts PipelineOptions) (*PipelineResult, error) {
+	return image.BuildOptimized(p, opts)
+}
+
+// DumpMode selects how per-thread trace buffers reach the trace file
+// (Sec. 6.1): DumpOnFull flushes when full and at thread termination —
+// events still buffered when the process is SIGKILLed are LOST — while
+// MemoryMapped survives abnormal termination at a higher per-event cost.
+// Microservice workloads (killed after their first response) must use
+// MemoryMapped.
+type DumpMode = profiler.DumpMode
+
+// Trace-buffer dump modes.
+const (
+	DumpOnFull   = profiler.DumpOnFull
+	MemoryMapped = profiler.MemoryMapped
+)
+
+// Ordering strategies (Sec. 4 and 5 of the paper).
+const (
+	StrategyCU          = core.StrategyCU
+	StrategyMethod      = core.StrategyMethod
+	StrategyIncremental = core.StrategyIncremental
+	StrategyStructural  = core.StrategyStructural
+	StrategyHeapPath    = core.StrategyHeapPath
+	StrategyCombined    = core.StrategyCombined
+)
+
+// Strategies lists all evaluated strategies in figure order.
+func Strategies() []string { return eval.Strategies() }
+
+// HeapStrategy computes 64-bit object identities for heap-snapshot
+// matching; implementations: incremental id, structural hash, heap path.
+type HeapStrategy = core.HeapStrategy
+
+// HeapStrategies returns the three identity strategies of the paper.
+func HeapStrategies() []HeapStrategy { return core.HeapStrategies() }
+
+// HeapObject is one object of the build-time heap / heap snapshot.
+type HeapObject = heap.Object
+
+// HeapSnapshot is the image heap embedded in a binary.
+type HeapSnapshot = heap.Snapshot
+
+// Entity wraps a heap value for the identity algorithms (Algorithms 1–3).
+type Entity = heap.Entity
+
+// ObjEntity wraps an object reference as an Entity.
+func ObjEntity(o *HeapObject) Entity { return heap.ObjEntity(o) }
+
+// OrderObjects applies a heap-ordering profile to a snapshot's objects
+// (custom-strategy building block; see examples/customstrategy).
+func OrderObjects(objs []*HeapObject, ids map[*HeapObject]uint64, profile []uint64) core.MatchResult {
+	return core.OrderObjects(objs, ids, profile)
+}
+
+// Image recipes (.nimg container).
+
+// ImageRecipe is the portable form of a build: program + build options +
+// ordering profiles. Builds are deterministic functions of the recipe, so
+// serializing the recipe is serializing the image.
+type ImageRecipe = image.Recipe
+
+// RecipeOf captures the recipe of a built image.
+func RecipeOf(img *Image) ImageRecipe { return image.RecipeOf(img) }
+
+// WriteRecipe / ReadRecipe serialize recipes in the .nimg container format.
+var (
+	WriteRecipe = image.WriteRecipe
+	ReadRecipe  = image.ReadRecipe
+)
+
+// Execution environment.
+
+// OS is the simulated operating system (page cache, demand paging).
+type OS = osim.OS
+
+// Device describes a storage device.
+type Device = osim.Device
+
+// NewOS creates an OS over the given device.
+func NewOS(dev Device) *OS { return osim.NewOS(dev) }
+
+// SSD and NFS return the two devices of the evaluation (Sec. 7.1).
+func SSD() Device { return osim.SSD() }
+
+// NFS returns the network-file-system device.
+func NFS() Device { return osim.NFS() }
+
+// Process is one execution of an image over an OS.
+type Process = image.Process
+
+// RunStats summarizes one run: per-section page faults and simulated time.
+type RunStats = image.Stats
+
+// Hooks observe execution events (advanced use; zero value is fine).
+type Hooks = vm.Hooks
+
+// Workloads (the paper's benchmarks).
+
+// Workload is one benchmark program.
+type Workload = workloads.Workload
+
+// AWFY returns the 14 "Are We Fast Yet?" benchmarks.
+func AWFY() []Workload { return workloads.AWFY() }
+
+// Microservices returns the micronaut/quarkus/spring helloworld workloads.
+func Microservices() []Workload { return workloads.Microservices() }
+
+// AllWorkloads returns every workload of the evaluation.
+func AllWorkloads() []Workload { return workloads.All() }
+
+// WorkloadByName looks a workload up by figure name.
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// Evaluation harness (Sec. 7).
+
+// EvalConfig tunes the measurement protocol.
+type EvalConfig = eval.Config
+
+// DefaultEvalConfig returns the default protocol (smaller than the paper's
+// 10 builds × 10 iterations, same structure).
+func DefaultEvalConfig() EvalConfig { return eval.DefaultConfig() }
+
+// Harness runs the measurement protocol and produces the figures.
+type Harness = eval.Harness
+
+// ResultTable is the data behind one figure.
+type ResultTable = eval.Table
+
+// NewHarness creates an evaluation harness.
+func NewHarness(cfg EvalConfig) *Harness { return eval.NewHarness(cfg) }
+
+// Visualization (Fig. 6).
+
+// PageState classifies one page of a section after a run.
+type PageState = osim.PageState
+
+// RenderPageGrid renders page states as an ASCII grid ('#' faulted, 'o'
+// mapped without fault, '.' untouched).
+func RenderPageGrid(states []PageState, width int) string { return textviz.Grid(states, width) }
+
+// RenderPageGridsSideBySide renders the Fig. 6 comparison of two layouts.
+func RenderPageGridsSideBySide(titleA string, a []PageState, titleB string, b []PageState, width int) string {
+	return textviz.SideBySide(titleA, a, titleB, b, width)
+}
+
+// RenderPagePPM renders page states as a plain PPM image string.
+func RenderPagePPM(states []PageState, width, scale int) string {
+	return textviz.PPM(states, width, scale)
+}
