@@ -3,14 +3,18 @@
 // Figures 4 and 5, the profiling-overhead table of Sec. 7.4, the
 // accessed-object fraction of Sec. 7.2, and the Fig. 6 page-grid
 // visualization. Results are printed as ASCII charts and written as CSV
-// files into the output directory.
+// files into the output directory. The geomean factors of every figure are
+// additionally collected into a benchmark-baseline document
+// (BENCH_baseline.json), and the "report" experiment writes the
+// consolidated observability document (output/report.json).
 //
 // Usage:
 //
-//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6] [-builds N] [-iters N] [-device ssd|nfs] [-out output]
+//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|report] [-builds N] [-iters N] [-device ssd|nfs] [-out output]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,18 +23,34 @@ import (
 	"strings"
 	"time"
 
+	"nimage/internal/core"
 	"nimage/internal/eval"
 	"nimage/internal/osim"
 	"nimage/internal/textviz"
 	"nimage/internal/workloads"
 )
 
+// benchSchema identifies the benchmark-baseline document format.
+const benchSchema = "nimage.bench/v1"
+
+// benchDoc is the committed benchmark baseline: the per-strategy geometric
+// means of every figure, so regressions in the headline factors are a JSON
+// diff away.
+type benchDoc struct {
+	Schema     string                        `json:"schema"`
+	Device     string                        `json:"device"`
+	Builds     int                           `json:"builds"`
+	Iterations int                           `json:"iterations"`
+	Figures    map[string]map[string]float64 `json:"figures"`
+}
+
 func main() {
-	figure := flag.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6")
+	figure := flag.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|report")
 	builds := flag.Int("builds", 3, "images per strategy (paper: 10)")
 	iters := flag.Int("iters", 3, "cold runs per image (paper: 10)")
 	device := flag.String("device", "ssd", "storage device: ssd|nfs")
 	out := flag.String("out", "output", "output directory for CSV/PPM files")
+	bench := flag.String("bench", "BENCH_baseline.json", "benchmark-baseline JSON path (empty = skip)")
 	viz := flag.String("viz-workload", "Bounce", "workload of the Fig. 6 visualization")
 	flag.Parse()
 
@@ -55,7 +75,12 @@ func main() {
 		}
 	}
 
-	table := func(file string, make func() (*eval.Table, error)) error {
+	baseline := benchDoc{
+		Schema: benchSchema, Device: cfg.Device.Name,
+		Builds: cfg.Builds, Iterations: cfg.Iterations,
+		Figures: map[string]map[string]float64{},
+	}
+	table := func(key, file string, make func() (*eval.Table, error)) error {
 		t, err := make()
 		if err != nil {
 			return err
@@ -66,15 +91,28 @@ func main() {
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", path)
+		geo := map[string]float64{}
+		for _, s := range t.Strategies {
+			if c := t.Get(eval.GeoMeanRow, s); c != nil {
+				geo[s] = c.Factor
+			}
+		}
+		if len(geo) > 0 {
+			baseline.Figures[key] = geo
+		}
 		return nil
 	}
 
-	run("2", func() error { return table("figure2-pagefaults-awfy.csv", h.Figure2) })
-	run("3", func() error { return table("figure3-pagefaults-microservices.csv", h.Figure3) })
-	run("4", func() error { return table("figure4-speedup-microservices.csv", h.Figure4) })
-	run("5", func() error { return table("figure5-speedup-awfy.csv", h.Figure5) })
+	run("2", func() error { return table("figure2-pagefaults-awfy", "figure2-pagefaults-awfy.csv", h.Figure2) })
+	run("3", func() error {
+		return table("figure3-pagefaults-microservices", "figure3-pagefaults-microservices.csv", h.Figure3)
+	})
+	run("4", func() error {
+		return table("figure4-speedup-microservices", "figure4-speedup-microservices.csv", h.Figure4)
+	})
+	run("5", func() error { return table("figure5-speedup-awfy", "figure5-speedup-awfy.csv", h.Figure5) })
 	run("overhead", func() error {
-		return table("overhead.csv", func() (*eval.Table, error) { return h.Overhead(workloads.All()) })
+		return table("overhead", "overhead.csv", func() (*eval.Table, error) { return h.Overhead(workloads.All()) })
 	})
 	run("accessed", func() error {
 		fracs, err := h.AccessedFraction(workloads.AWFY())
@@ -129,6 +167,74 @@ func main() {
 		fmt.Println()
 		return nil
 	})
+	run("report", func() error {
+		// The observability deep-dive is deliberately small: one image and
+		// one cold run per configuration carry full per-event records
+		// (pipeline stage spans, per-section fault timelines, match
+		// breakdowns, profiler dump statistics), which would be wasteful at
+		// the figures' build counts.
+		rcfg := cfg
+		rcfg.Builds = 1
+		rcfg.Iterations = 1
+		rcfg.Observe = true
+		rh := eval.NewHarness(rcfg)
+		var ws []workloads.Workload
+		for _, name := range []string{"Bounce", "micronaut"} {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		rep, err := rh.Report(ws, []string{core.StrategyCU, core.StrategyHeapPath, core.StrategyCombined})
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, "report.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Observability report: %d entries over %d workloads\n", len(rep.Entries), len(ws))
+		for _, e := range rep.Entries {
+			label := e.Strategy
+			if label == "" {
+				label = "baseline"
+			}
+			var stages int
+			if len(e.Pipeline) > 0 {
+				stages = len(e.Pipeline[0].Spans)
+			}
+			var faults int
+			if len(e.Runs) > 0 {
+				if tl := e.Runs[0].Timeline("osim.faults"); tl != nil {
+					faults = len(tl.Events)
+				}
+			}
+			fmt.Printf("  %-10s %-12s %2d pipeline spans, %4d fault events\n",
+				e.Workload, label, stages, faults)
+		}
+		fmt.Printf("wrote %s\n\n", path)
+		return nil
+	})
+
+	if *bench != "" && len(baseline.Figures) > 0 {
+		data, err := json.MarshalIndent(baseline, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*bench, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d figures)\n", *bench, len(baseline.Figures))
+	}
 
 	fmt.Printf("done in %v (builds=%d, iterations=%d, device=%s)\n",
 		time.Since(start).Round(time.Millisecond), cfg.Builds, cfg.Iterations, cfg.Device.Name)

@@ -88,6 +88,7 @@ func cmdExec(args []string) error {
 	path := fs.String("image", "", ".nimg file to execute (required)")
 	device := fs.String("device", "ssd", "storage device: ssd|nfs")
 	iters := fs.Int("iters", 1, "cold iterations")
+	report := fs.String("report", "", "write the runs' observability snapshot to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +121,11 @@ func cmdExec(args []string) error {
 		dev = nimage.NFS()
 	}
 	o := nimage.NewOS(dev)
+	var reg *nimage.ObsRegistry
+	if *report != "" {
+		reg = nimage.NewObsRegistry()
+		o.Obs = reg
+	}
 	fmt.Printf("%s (%s image from %s, %s)\n", img.Program.Name, img.Opts.Kind, *path, dev.Name)
 	for it := 0; it < *iters; it++ {
 		o.DropCaches()
@@ -136,6 +142,12 @@ func cmdExec(args []string) error {
 		fmt.Printf("  iter %d: .text faults %d, .svm_heap faults %d, total %v\n",
 			it, st.TextFaults.Total(), st.HeapFaults.Total(), st.Total)
 		proc.Close()
+	}
+	if reg != nil {
+		if err := writeSnapshot(*report, reg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote run report to %s\n", *report)
 	}
 	return nil
 }

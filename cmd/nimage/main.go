@@ -5,12 +5,14 @@
 // Usage:
 //
 //	nimage info
-//	nimage build   -workload Bounce [-kind regular|instrumented|optimized] [-seed N]
-//	nimage run     -workload Bounce [-strategy cu] [-device ssd|nfs] [-iters N]
+//	nimage build   -workload Bounce [-kind regular|instrumented|optimized] [-seed N] [-report out.json]
+//	nimage run     -workload Bounce [-strategy cu] [-device ssd|nfs] [-iters N] [-report out.json]
 //	nimage profile -workload Bounce -strategy "heap path" [-out profile.csv] [-trace trace.bin]
+//	nimage order   -workload Bounce [-seed N]
+//	nimage report  -workloads Bounce,micronaut [-strategies "cu,heap path"] [-o report.json]
 //	nimage viz     -workload Bounce [-section text|heap] [-ppm out.ppm]
 //	nimage export  -workload Towers -strategy "cu+heap path" -o towers.nimg
-//	nimage exec    -image towers.nimg
+//	nimage exec    -image towers.nimg [-report out.json]
 package main
 
 import (
@@ -36,6 +38,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "order":
+		err = cmdOrder(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	case "viz":
 		err = cmdViz(os.Args[2:])
 	case "export":
@@ -63,6 +69,8 @@ commands:
   build     build one image and print its layout
   run       build and run images cold, print page faults and times
   profile   run the profile-guided pipeline, write ordering profiles
+  order     print the per-strategy object match breakdown across builds
+  report    run an observed evaluation, write a consolidated report.json
   viz       render the Fig. 6 page-fault grid (-section text|heap)
   export    build an image and write its portable .nimg recipe
   exec      bake a .nimg recipe and run it cold
@@ -97,6 +105,7 @@ func cmdBuild(args []string) error {
 	strategy := fs.String("strategy", nimage.StrategyCU, "strategy for instrumented/optimized builds")
 	seed := fs.Uint64("seed", 1, "build seed (non-determinism source)")
 	dump := fs.String("dump", "", "disassemble the method with this signature (e.g. 'BounceBench.benchmark(1)')")
+	report := fs.String("report", "", "write the build's observability snapshot to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +115,10 @@ func cmdBuild(args []string) error {
 	}
 	p := w.Build()
 
+	var reg *nimage.ObsRegistry
+	if *report != "" {
+		reg = nimage.NewObsRegistry()
+	}
 	var img *nimage.Image
 	switch *kind {
 	case "regular", "instrumented":
@@ -113,6 +126,7 @@ func cmdBuild(args []string) error {
 			Kind:      nimage.KindRegular,
 			Compiler:  nimage.DefaultCompilerConfig(),
 			BuildSeed: *seed,
+			Obs:       reg,
 		}
 		if *kind == "instrumented" {
 			opts.Kind = nimage.KindInstrumented
@@ -128,6 +142,7 @@ func cmdBuild(args []string) error {
 			Mode:             serviceMode(w),
 			Args:             w.Args,
 			Service:          w.Service,
+			Obs:              reg,
 		})
 		if res != nil {
 			img = res.Optimized
@@ -137,6 +152,12 @@ func cmdBuild(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		if err := writeSnapshot(*report, reg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote build report to %s\n", *report)
 	}
 	fmt.Printf("%s (%s build, seed %d)\n", w.Name, *kind, *seed)
 	fmt.Printf("  classes:           %d\n", len(p.Classes))
@@ -175,6 +196,7 @@ func cmdRun(args []string) error {
 	device := fs.String("device", "ssd", "storage device: ssd|nfs")
 	iters := fs.Int("iters", 3, "cold iterations (caches dropped in between)")
 	seed := fs.Uint64("seed", 1, "build seed")
+	report := fs.String("report", "", "write the combined build+run observability snapshot to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -184,10 +206,15 @@ func cmdRun(args []string) error {
 	}
 	p := w.Build()
 
+	var reg *nimage.ObsRegistry
+	if *report != "" {
+		reg = nimage.NewObsRegistry()
+	}
 	var img *nimage.Image
 	if *strategy == "" {
 		img, err = nimage.BuildImage(p, nimage.BuildOptions{
 			Kind: nimage.KindRegular, Compiler: nimage.DefaultCompilerConfig(), BuildSeed: *seed,
+			Obs: reg,
 		})
 	} else {
 		var res *nimage.PipelineResult
@@ -199,6 +226,7 @@ func cmdRun(args []string) error {
 			Mode:             serviceMode(w),
 			Args:             w.Args,
 			Service:          w.Service,
+			Obs:              reg,
 		})
 		if res != nil {
 			img = res.Optimized
@@ -213,6 +241,7 @@ func cmdRun(args []string) error {
 		dev = nimage.NFS()
 	}
 	o := nimage.NewOS(dev)
+	o.Obs = reg
 	layout := "regular"
 	if *strategy != "" {
 		layout = *strategy
@@ -242,6 +271,12 @@ func cmdRun(args []string) error {
 				100*float64(st.AccessedObjects)/float64(st.SnapshotObjects))
 		}
 		proc.Close()
+	}
+	if reg != nil {
+		if err := writeSnapshot(*report, reg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote run report to %s\n", *report)
 	}
 	return nil
 }

@@ -12,6 +12,14 @@ type MatchResult struct {
 	MatchedEntries int
 	// MatchedObjects counts objects moved to the front.
 	MatchedObjects int
+	// UnmatchedObjects counts objects left behind in default order.
+	UnmatchedObjects int
+	// CollisionGroups counts profile IDs that matched more than one object
+	// (hash collisions, or coinciding per-type counters); the whole group
+	// is pulled forward because its members are indistinguishable.
+	CollisionGroups int
+	// CollisionObjects counts objects placed through such a colliding ID.
+	CollisionObjects int
 	// ProfileLen is the number of profile entries consumed.
 	ProfileLen int
 }
@@ -22,6 +30,33 @@ func (r MatchResult) MatchRate() float64 {
 		return 0
 	}
 	return float64(r.MatchedEntries) / float64(r.ProfileLen)
+}
+
+// MatchBreakdown is the serializable per-strategy summary of a MatchResult,
+// reported by `nimage order` and embedded in run reports.
+type MatchBreakdown struct {
+	Strategy         string  `json:"strategy"`
+	ProfileLen       int     `json:"profile_len"`
+	MatchedEntries   int     `json:"matched_entries"`
+	MatchedObjects   int     `json:"matched_objects"`
+	UnmatchedObjects int     `json:"unmatched_objects"`
+	CollisionGroups  int     `json:"collision_groups"`
+	CollisionObjects int     `json:"collision_objects"`
+	MatchRate        float64 `json:"match_rate"`
+}
+
+// Breakdown summarizes the result for the named strategy.
+func (r MatchResult) Breakdown(strategy string) MatchBreakdown {
+	return MatchBreakdown{
+		Strategy:         strategy,
+		ProfileLen:       r.ProfileLen,
+		MatchedEntries:   r.MatchedEntries,
+		MatchedObjects:   r.MatchedObjects,
+		UnmatchedObjects: r.UnmatchedObjects,
+		CollisionGroups:  r.CollisionGroups,
+		CollisionObjects: r.CollisionObjects,
+		MatchRate:        r.MatchRate(),
+	}
 }
 
 // OrderObjects matches the object-access profile (deduplicated 64-bit IDs
@@ -49,6 +84,7 @@ func OrderObjects(objs []*heap.Object, ids map[*heap.Object]uint64, profile []ui
 			continue
 		}
 		res.MatchedEntries++
+		placedHere := 0
 		for _, o := range group {
 			if placed[o] {
 				continue
@@ -56,12 +92,18 @@ func OrderObjects(objs []*heap.Object, ids map[*heap.Object]uint64, profile []ui
 			placed[o] = true
 			order = append(order, o)
 			res.MatchedObjects++
+			placedHere++
+		}
+		if placedHere > 1 {
+			res.CollisionGroups++
+			res.CollisionObjects += placedHere
 		}
 		delete(byID, id)
 	}
 	for _, o := range objs {
 		if !placed[o] {
 			order = append(order, o)
+			res.UnmatchedObjects++
 		}
 	}
 	res.Order = order

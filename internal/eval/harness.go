@@ -8,6 +8,7 @@ import (
 	"nimage/internal/graal"
 	"nimage/internal/image"
 	"nimage/internal/ir"
+	"nimage/internal/obs"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
 	"nimage/internal/vm"
@@ -32,6 +33,12 @@ type Config struct {
 	AdaptiveReadahead bool
 	// Compiler is the compiler configuration shared by all builds.
 	Compiler graal.Config
+	// Observe attaches a fresh obs registry to every build (pipeline spans,
+	// match statistics) and every benchmark iteration (fault timelines,
+	// instruction mix), populating RunMeasure.Report and the Pipeline
+	// snapshots of the outcomes. Off by default: the measurement fast paths
+	// then carry no instrumentation cost.
+	Observe bool
 }
 
 // DefaultConfig returns the evaluation defaults.
@@ -59,19 +66,27 @@ func Strategies() []string {
 
 // RunMeasure is one benchmark iteration's measurements.
 type RunMeasure struct {
-	TextFaults float64
-	HeapFaults float64
+	TextFaults float64 `json:"text_faults"`
+	HeapFaults float64 `json:"heap_faults"`
 	// Time is the end-to-end execution time for AWFY workloads, or the
 	// elapsed time until the first response for microservices (seconds).
-	Time float64
+	Time float64 `json:"time_seconds"`
 	// CPUSeconds is the compute share of Time (no fault I/O); the
 	// profiling-overhead table compares compute times, since cold-start
 	// I/O would mask the tracing cost (Sec. 7.4 measures steady
 	// instrumented executions).
-	CPUSeconds float64
+	CPUSeconds float64 `json:"cpu_seconds"`
 	// AccessedFrac is the fraction of snapshot objects accessed.
-	AccessedFrac float64
+	AccessedFrac float64 `json:"accessed_frac"`
+	// Report is the observability snapshot of this iteration (per-section
+	// fault timelines, instruction mix, run totals); nil unless the harness
+	// runs with Config.Observe.
+	Report *obs.Snapshot `json:"report,omitempty"`
 }
+
+// RunReport is the structured observability record attached to a measured
+// iteration.
+type RunReport = obs.Snapshot
 
 // Harness caches built programs and memoizes measurements, so figures
 // sharing the same underlying runs (e.g. Figures 2 and 5 on AWFY) measure
@@ -81,7 +96,7 @@ type Harness struct {
 
 	mu         sync.Mutex
 	progs      map[string]*ir.Program
-	baseCache  map[string][]RunMeasure
+	baseCache  map[string]*BaselineOutcome
 	stratCache map[string]*StrategyOutcome
 }
 
@@ -90,7 +105,7 @@ func NewHarness(cfg Config) *Harness {
 	return &Harness{
 		Cfg:        cfg,
 		progs:      make(map[string]*ir.Program),
-		baseCache:  make(map[string][]RunMeasure),
+		baseCache:  make(map[string]*BaselineOutcome),
 		stratCache: make(map[string]*StrategyOutcome),
 	}
 }
@@ -121,6 +136,11 @@ func (h *Harness) measureImage(img *image.Image, w workloads.Workload) ([]RunMea
 	out := make([]RunMeasure, 0, h.Cfg.Iterations)
 	for it := 0; it < h.Cfg.Iterations; it++ {
 		o.DropCaches()
+		if h.Cfg.Observe {
+			// One registry per iteration: each RunMeasure.Report is a
+			// self-contained record of a single cold-cache run.
+			o.Obs = obs.NewRegistry()
+		}
 		proc, err := img.NewProcess(o, vm.Hooks{})
 		if err != nil {
 			return nil, err
@@ -146,8 +166,11 @@ func (h *Harness) measureImage(img *image.Image, w workloads.Workload) ([]RunMea
 		} else {
 			m.Time = st.Total.Seconds()
 		}
-		out = append(out, m)
 		proc.Close()
+		if o.Obs != nil {
+			m.Report = o.Obs.Snapshot()
+		}
+		out = append(out, m)
 	}
 	return out, nil
 }
@@ -157,22 +180,46 @@ func baselineSeed(build int) uint64     { return 0x5eed0000 + uint64(build) }
 func instrumentedSeed(build int) uint64 { return 0x1457a000 + uint64(build)*31 }
 func optimizedSeed(build int) uint64    { return 0x0b715000 + uint64(build)*17 }
 
+// BaselineOutcome is the measurement of the unmodified images of one
+// workload.
+type BaselineOutcome struct {
+	Measures []RunMeasure
+	// Pipeline holds one build-time observability snapshot per build
+	// (stage spans, output sizes); nil unless Config.Observe.
+	Pipeline []*obs.Snapshot
+}
+
 // MeasureBaseline builds and measures the unmodified images of a workload.
 // Results are memoized per workload.
 func (h *Harness) MeasureBaseline(w workloads.Workload) ([]RunMeasure, error) {
+	out, err := h.MeasureBaselineOutcome(w)
+	if err != nil {
+		return nil, err
+	}
+	return out.Measures, nil
+}
+
+// MeasureBaselineOutcome is MeasureBaseline plus the per-build pipeline
+// snapshots.
+func (h *Harness) MeasureBaselineOutcome(w workloads.Workload) (*BaselineOutcome, error) {
 	h.mu.Lock()
-	if ms, ok := h.baseCache[w.Name]; ok {
+	if o, ok := h.baseCache[w.Name]; ok {
 		h.mu.Unlock()
-		return ms, nil
+		return o, nil
 	}
 	h.mu.Unlock()
 	p := h.Program(w)
-	var out []RunMeasure
+	out := &BaselineOutcome{}
 	for bld := 0; bld < h.Cfg.Builds; bld++ {
+		var r *obs.Registry
+		if h.Cfg.Observe {
+			r = obs.NewRegistry()
+		}
 		img, err := image.Build(p, image.Options{
 			Kind:      image.KindRegular,
 			Compiler:  h.Cfg.Compiler,
 			BuildSeed: baselineSeed(bld),
+			Obs:       r,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval: baseline build of %s: %w", w.Name, err)
@@ -181,7 +228,10 @@ func (h *Harness) MeasureBaseline(w workloads.Workload) ([]RunMeasure, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ms...)
+		out.Measures = append(out.Measures, ms...)
+		if r != nil {
+			out.Pipeline = append(out.Pipeline, r.Snapshot())
+		}
 	}
 	h.mu.Lock()
 	h.baseCache[w.Name] = out
@@ -191,6 +241,8 @@ func (h *Harness) MeasureBaseline(w workloads.Workload) ([]RunMeasure, error) {
 
 // StrategyOutcome is the measurement of one strategy on one workload.
 type StrategyOutcome struct {
+	// Strategy is the measured strategy name.
+	Strategy string
 	Measures []RunMeasure
 	// Profiling lists the instrumented runs (for the overhead table).
 	Profiling []image.ProfilingRun
@@ -198,6 +250,13 @@ type StrategyOutcome struct {
 	// last build.
 	CodeMatched int
 	HeapMatched int
+	// HeapMatch is the full match breakdown of the last build (zero value
+	// for pure code strategies, which apply no heap profile).
+	HeapMatch core.MatchBreakdown
+	// Pipeline holds one observability snapshot per build covering the
+	// whole pipeline — instrumented build, profiling run, post-processing,
+	// optimized build; nil unless Config.Observe.
+	Pipeline []*obs.Snapshot
 }
 
 // MeasureStrategy runs the full pipeline for one strategy on one workload.
@@ -216,8 +275,12 @@ func (h *Harness) MeasureStrategy(w workloads.Workload, strategy string) (*Strat
 		// Killed workloads need durable buffers (Sec. 6.1).
 		mode = profiler.MemoryMapped
 	}
-	out := &StrategyOutcome{}
+	out := &StrategyOutcome{Strategy: strategy}
 	for bld := 0; bld < h.Cfg.Builds; bld++ {
+		var r *obs.Registry
+		if h.Cfg.Observe {
+			r = obs.NewRegistry()
+		}
 		res, err := image.BuildOptimized(p, image.PipelineOptions{
 			Compiler:         h.Cfg.Compiler,
 			Strategy:         strategy,
@@ -226,6 +289,7 @@ func (h *Harness) MeasureStrategy(w workloads.Workload, strategy string) (*Strat
 			Mode:             mode,
 			Args:             w.Args,
 			Service:          w.Service,
+			Obs:              r,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s/%s: %w", w.Name, strategy, err)
@@ -238,6 +302,12 @@ func (h *Harness) MeasureStrategy(w workloads.Workload, strategy string) (*Strat
 		out.Profiling = append(out.Profiling, res.Runs...)
 		out.CodeMatched = res.Optimized.CodeOrderStats.Matched
 		out.HeapMatched = res.Optimized.HeapMatchStats.MatchedObjects
+		if res.Optimized.Opts.HeapStrategy != nil && len(res.Optimized.Opts.HeapProfile) > 0 {
+			out.HeapMatch = res.Optimized.HeapMatchStats.Breakdown(res.Optimized.Opts.HeapStrategy.Name())
+		}
+		if r != nil {
+			out.Pipeline = append(out.Pipeline, r.Snapshot())
+		}
 	}
 	h.mu.Lock()
 	h.stratCache[key] = out

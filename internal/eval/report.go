@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nimage/internal/core"
+	"nimage/internal/obs"
+	"nimage/internal/workloads"
+)
+
+// ReportSchema versions the consolidated run-report document.
+const ReportSchema = "nimage.report/v1"
+
+// Report is the consolidated observability document the evaluation emits:
+// per workload and strategy, the build-pipeline snapshots (stage spans,
+// profiler dump statistics, match gauges) and the per-iteration run
+// snapshots (fault timelines, instruction mix, run totals).
+type Report struct {
+	Schema     string        `json:"schema"`
+	Device     string        `json:"device"`
+	Builds     int           `json:"builds"`
+	Iterations int           `json:"iterations"`
+	Entries    []ReportEntry `json:"entries"`
+}
+
+// ReportEntry is the report of one (workload, strategy) pair. Strategy is
+// empty for the unmodified baseline images.
+type ReportEntry struct {
+	Workload string `json:"workload"`
+	Service  bool   `json:"service"`
+	Strategy string `json:"strategy,omitempty"`
+	// Pipeline holds one snapshot per build: stage durations of every
+	// image build plus, for strategies, the profiling run and
+	// post-processing phases and the profiler's buffer statistics.
+	Pipeline []*obs.Snapshot `json:"pipeline,omitempty"`
+	// Runs holds one snapshot per cold-cache benchmark iteration.
+	Runs []*obs.Snapshot `json:"runs,omitempty"`
+	// Measures are the scalar per-iteration measurements (with Report
+	// stripped — the same snapshots live in Runs).
+	Measures []RunMeasure `json:"measures"`
+	// HeapMatch is the object match breakdown of the last optimized build;
+	// nil for the baseline and for pure code strategies.
+	HeapMatch *core.MatchBreakdown `json:"heap_match,omitempty"`
+}
+
+// Report measures every workload against every strategy (plus baseline)
+// and assembles the consolidated document. The harness should be
+// configured with Observe: true — otherwise the entries carry scalar
+// measures only.
+func (h *Harness) Report(ws []workloads.Workload, strategies []string) (*Report, error) {
+	rep := &Report{
+		Schema:     ReportSchema,
+		Device:     h.Cfg.Device.Name,
+		Builds:     h.Cfg.Builds,
+		Iterations: h.Cfg.Iterations,
+	}
+	for _, w := range ws {
+		base, err := h.MeasureBaselineOutcome(w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, ReportEntry{
+			Workload: w.Name,
+			Service:  w.Service,
+			Pipeline: base.Pipeline,
+			Runs:     stripReports(base.Measures),
+			Measures: scalarMeasures(base.Measures),
+		})
+		for _, s := range strategies {
+			out, err := h.MeasureStrategy(w, s)
+			if err != nil {
+				return nil, err
+			}
+			e := ReportEntry{
+				Workload: w.Name,
+				Service:  w.Service,
+				Strategy: s,
+				Pipeline: out.Pipeline,
+				Runs:     stripReports(out.Measures),
+				Measures: scalarMeasures(out.Measures),
+			}
+			if out.HeapMatch.Strategy != "" {
+				hm := out.HeapMatch
+				e.HeapMatch = &hm
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	return rep, nil
+}
+
+// stripReports extracts the run snapshots of the measures.
+func stripReports(ms []RunMeasure) []*obs.Snapshot {
+	var out []*obs.Snapshot
+	for _, m := range ms {
+		if m.Report != nil {
+			out = append(out, m.Report)
+		}
+	}
+	return out
+}
+
+// scalarMeasures copies the measures without their snapshots (which the
+// entry carries once, in Runs).
+func scalarMeasures(ms []RunMeasure) []RunMeasure {
+	out := make([]RunMeasure, len(ms))
+	copy(out, ms)
+	for i := range out {
+		out[i].Report = nil
+	}
+	return out
+}
+
+// WriteJSON writes the report as an indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("eval: encoding report: %w", err)
+	}
+	return nil
+}

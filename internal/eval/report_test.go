@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nimage/internal/core"
+	"nimage/internal/workloads"
+)
+
+// reportConfig keeps the observed-report test cheap: one build, one
+// iteration.
+func reportConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	cfg.Observe = true
+	return cfg
+}
+
+// TestReportObserved runs an observed harness over one AWFY workload and
+// one microservice and checks that the consolidated report carries the
+// acceptance-relevant records: pipeline stage spans, per-section fault
+// timelines, heap match breakdowns, and profiler dump statistics.
+func TestReportObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	h := NewHarness(reportConfig())
+	var ws []workloads.Workload
+	for _, name := range []string{"Bounce", "micronaut"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	rep, err := h.Report(ws, []string{core.StrategyCU, core.StrategyHeapPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
+	// 2 workloads x (baseline + 2 strategies).
+	if len(rep.Entries) != 6 {
+		t.Fatalf("entries = %d, want 6", len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if len(e.Pipeline) != 1 || len(e.Runs) != 1 || len(e.Measures) != 1 {
+			t.Fatalf("%s/%s: pipeline=%d runs=%d measures=%d, want 1 each",
+				e.Workload, e.Strategy, len(e.Pipeline), len(e.Runs), len(e.Measures))
+		}
+		// Every build must have timed pipeline stages.
+		spans := 0
+		for _, sp := range e.Pipeline[0].Spans {
+			if strings.Contains(sp.Name, "reachability") || strings.Contains(sp.Name, "snapshot_heap") {
+				spans++
+			}
+		}
+		if spans == 0 {
+			t.Errorf("%s/%s: no build stage spans in pipeline snapshot", e.Workload, e.Strategy)
+		}
+		// Every cold run must have a per-section fault timeline.
+		tl := e.Runs[0].Timeline("osim.faults")
+		if tl == nil || len(tl.Events) == 0 {
+			t.Errorf("%s/%s: missing osim.faults timeline", e.Workload, e.Strategy)
+			continue
+		}
+		seen := map[string]bool{}
+		for _, ev := range tl.Events {
+			seen[ev.Label] = true
+		}
+		if !seen[".text"] || !seen[".svm_heap"] {
+			t.Errorf("%s/%s: fault timeline lacks sections: %v", e.Workload, e.Strategy, seen)
+		}
+		if e.Measures[0].Report != nil {
+			t.Errorf("%s/%s: scalar measures still embed the snapshot", e.Workload, e.Strategy)
+		}
+		switch e.Strategy {
+		case "":
+			if e.HeapMatch != nil {
+				t.Errorf("%s baseline has a heap match breakdown", e.Workload)
+			}
+		case core.StrategyCU:
+			// Pure code strategy: profiler stats but no heap profile.
+			if e.Pipeline[0].Counter("profiler.events."+"cu") == 0 {
+				t.Errorf("%s/cu: no CU probe events recorded", e.Workload)
+			}
+		case core.StrategyHeapPath:
+			if e.HeapMatch == nil {
+				t.Fatalf("%s/heap path: missing match breakdown", e.Workload)
+			}
+			hm := e.HeapMatch
+			if hm.MatchedObjects+hm.UnmatchedObjects == 0 {
+				t.Errorf("%s/heap path: empty breakdown %+v", e.Workload, hm)
+			}
+			if hm.Strategy != core.StrategyHeapPath {
+				t.Errorf("%s: breakdown strategy = %q", e.Workload, hm.Strategy)
+			}
+			if e.Pipeline[0].Counter("profiler.paths") == 0 {
+				t.Errorf("%s/heap path: no path records counted", e.Workload)
+			}
+		}
+	}
+	// The microservice profiling run uses memory-mapped buffers, whose
+	// durable bytes must be reported.
+	var sawMmapBytes bool
+	for _, e := range rep.Entries {
+		if e.Service && e.Strategy != "" && len(e.Pipeline) > 0 {
+			if e.Pipeline[0].Gauge("profiler.bytes_written") > 0 {
+				sawMmapBytes = true
+			}
+		}
+	}
+	if !sawMmapBytes {
+		t.Error("no profiler.bytes_written recorded for microservice pipelines")
+	}
+
+	// The document must be valid, round-trippable JSON.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if len(back.Entries) != len(rep.Entries) {
+		t.Errorf("round trip lost entries: %d != %d", len(back.Entries), len(rep.Entries))
+	}
+}
+
+// TestHarnessDetachedHasNoReports pins the default: without Observe, no
+// snapshots are allocated or attached anywhere.
+func TestHarnessDetachedHasNoReports(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	h := NewHarness(cfg)
+	w, err := workloads.ByName("Bounce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := h.MeasureBaselineOutcome(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Pipeline) != 0 {
+		t.Error("detached harness produced pipeline snapshots")
+	}
+	for _, m := range base.Measures {
+		if m.Report != nil {
+			t.Error("detached harness attached a run report")
+		}
+	}
+}

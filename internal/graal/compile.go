@@ -28,12 +28,20 @@ type Compilation struct {
 // code constants (with optimization-dependent folding), and runs partial
 // escape analysis.
 func Compile(p *ir.Program, cfg Config, instr Instrumentation, pgo bool) *Compilation {
+	return Assemble(p, cfg, instr, pgo, Analyze(p, cfg))
+}
+
+// Assemble turns a completed reachability analysis into a compilation:
+// it forms compilation units (inlining), collects CU code constants, and
+// runs partial escape analysis. Splitting it from Analyze lets callers
+// time the two compiler halves independently.
+func Assemble(p *ir.Program, cfg Config, instr Instrumentation, pgo bool, reach *Reachability) *Compilation {
 	c := &Compilation{
 		Program: p,
 		Config:  cfg,
 		Instr:   instr,
 		PGO:     pgo,
-		Reach:   Analyze(p, cfg),
+		Reach:   reach,
 	}
 	c.CUs = BuildCUs(c.Reach, cfg, instr, pgo)
 	c.CUBySig = make(map[string]*CompilationUnit, len(c.CUs))

@@ -18,6 +18,7 @@ import (
 	"nimage/internal/heap"
 	"nimage/internal/ir"
 	"nimage/internal/murmur"
+	"nimage/internal/obs"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
 	"nimage/internal/vm"
@@ -76,6 +77,11 @@ type Options struct {
 	HeapStrategy core.HeapStrategy
 	// MaxPaths bounds per-method path counts (path cutting).
 	MaxPaths uint64
+	// Obs, when non-nil, receives per-stage build spans (reachability,
+	// inlining, clinit, layout, snapshot, serialization), output-size
+	// gauges, and profile match statistics, all prefixed
+	// "image.<kind>.". Nil disables instrumentation entirely.
+	Obs *obs.Registry
 }
 
 // Image is a built binary plus the metadata needed to run and reorder it.
@@ -143,10 +149,20 @@ func Build(p *ir.Program, opts Options) (*Image, error) {
 	if opts.Kind == KindInstrumented {
 		instr = opts.Instr
 	}
+	r := opts.Obs
+	prefix := ""
+	if r.Enabled() {
+		prefix = "image." + opts.Kind.String() + "."
+	}
+
+	sp := r.StartSpan(prefix + "reachability")
+	reach := graal.Analyze(p, opts.Compiler)
+	sp.End()
+	sp = r.StartSpan(prefix + "inlining")
 	img := &Image{
 		Program: p,
 		Opts:    opts,
-		Comp:    graal.Compile(p, opts.Compiler, instr, opts.Kind == KindOptimized),
+		Comp:    graal.Assemble(p, opts.Compiler, instr, opts.Kind == KindOptimized, reach),
 		files:   make(map[*osim.OS]*osim.File),
 	}
 	img.Table = profiler.NewMethodTable(img.Comp.Reach.CompiledMethods())
@@ -157,20 +173,61 @@ func Build(p *ir.Program, opts Options) (*Image, error) {
 	for _, cu := range img.Comp.CUs {
 		img.cuByRoot[cu.Root] = cu
 	}
+	sp.End()
 
-	if err := img.runClassInitializers(); err != nil {
+	sp = r.StartSpan(prefix + "clinit")
+	err := img.runClassInitializers()
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("image: build-time initialization of %s: %w", p.Name, err)
 	}
+	sp = r.StartSpan(prefix + "layout_text")
 	img.layoutText()
-	if err := img.snapshotHeap(); err != nil {
+	sp.End()
+	sp = r.StartSpan(prefix + "snapshot_heap")
+	err = img.snapshotHeap()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
+	sp = r.StartSpan(prefix + "layout_heap")
 	img.layoutHeap()
+	sp.End()
+	sp = r.StartSpan(prefix + "serialize")
 	img.finalizeFile()
 	if opts.Kind == KindInstrumented {
 		img.assignStrategyIDs()
 	}
+	sp.End()
+	if r.Enabled() {
+		img.recordBuildObs(r, prefix)
+	}
 	return img, nil
+}
+
+// recordBuildObs publishes output sizes and profile match statistics of a
+// completed build under the "image.<kind>." prefix.
+func (img *Image) recordBuildObs(r *obs.Registry, prefix string) {
+	r.Gauge(prefix + "text_bytes").Set(float64(img.TextSection.Len))
+	r.Gauge(prefix + "heap_bytes").Set(float64(img.HeapSection.Len))
+	r.Gauge(prefix + "file_bytes").Set(float64(img.FileSize))
+	r.Gauge(prefix + "cus").Set(float64(len(img.CULayout)))
+	r.Gauge(prefix + "objects").Set(float64(len(img.ObjLayout)))
+	if img.Opts.Kind != KindOptimized {
+		return
+	}
+	if len(img.Opts.CodeProfile) > 0 {
+		r.Gauge(prefix + "code_matched_cus").Set(float64(img.CodeOrderStats.Matched))
+		r.Gauge(prefix + "code_profile_len").Set(float64(img.CodeOrderStats.ProfileLen))
+	}
+	if img.Opts.HeapStrategy != nil && len(img.Opts.HeapProfile) > 0 {
+		hm := img.HeapMatchStats
+		r.Gauge(prefix + "heap_matched_objects").Set(float64(hm.MatchedObjects))
+		r.Gauge(prefix + "heap_unmatched_objects").Set(float64(hm.UnmatchedObjects))
+		r.Gauge(prefix + "heap_collision_groups").Set(float64(hm.CollisionGroups))
+		r.Gauge(prefix + "heap_collision_objects").Set(float64(hm.CollisionObjects))
+		r.Gauge(prefix + "heap_match_rate").Set(hm.MatchRate())
+	}
 }
 
 // buildMachine creates the build-time execution machine sharing the image

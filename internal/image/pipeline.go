@@ -7,6 +7,7 @@ import (
 	"nimage/internal/core"
 	"nimage/internal/graal"
 	"nimage/internal/ir"
+	"nimage/internal/obs"
 	"nimage/internal/osim"
 	"nimage/internal/postproc"
 	"nimage/internal/profiler"
@@ -40,6 +41,11 @@ type PipelineOptions struct {
 	Service bool
 	// MaxPaths bounds per-method path counts.
 	MaxPaths uint64
+	// Obs, when non-nil, is threaded into both builds, the tracer, and the
+	// profiling run, and additionally receives per-phase pipeline spans
+	// ("pipeline.<strategy>.profiling_run" / ".postprocess") and trace-size
+	// gauges.
+	Obs *obs.Registry
 }
 
 // ProfilingRun reports the instrumented execution (for the overhead
@@ -129,6 +135,7 @@ func BuildOptimized(p *ir.Program, opts PipelineOptions) (*PipelineResult, error
 		Compiler:  opts.Compiler,
 		BuildSeed: opts.OptimizedSeed,
 		MaxPaths:  opts.MaxPaths,
+		Obs:       opts.Obs,
 	}
 	switch opts.Strategy {
 	case core.StrategyCombined:
@@ -169,6 +176,7 @@ func profileOnce(p *ir.Program, opts PipelineOptions, instr graal.Instrumentatio
 		Mode:      opts.Mode,
 		BuildSeed: opts.InstrumentedSeed,
 		MaxPaths:  opts.MaxPaths,
+		Obs:       opts.Obs,
 	})
 	if err != nil {
 		return run, nil, nil, fmt.Errorf("image: instrumented build: %w", err)
@@ -178,6 +186,7 @@ func profileOnce(p *ir.Program, opts PipelineOptions, instr graal.Instrumentatio
 	tr.MethodIdx = img.Table.Index
 	tr.Numberings = img.Numberings
 	tr.ObjectHandle = img.ObjectHandle
+	tr.Obs = opts.Obs
 
 	// The Pettis–Hansen baseline needs edge frequencies rather than a
 	// first-execution trace, so it attaches its own call-graph collector.
@@ -191,6 +200,7 @@ func profileOnce(p *ir.Program, opts PipelineOptions, instr graal.Instrumentatio
 	// The profiling run executes on a scratch OS; its page faults are
 	// irrelevant, but its simulated time (with profiling overhead) is the
 	// overhead measurement of Sec. 7.4.
+	sp := opts.Obs.StartSpan("pipeline." + strategy + ".profiling_run")
 	scratch := osim.NewOS(osim.SSD())
 	proc, err := img.NewProcess(scratch, hooks)
 	if err != nil {
@@ -218,6 +228,13 @@ func profileOnce(p *ir.Program, opts PipelineOptions, instr graal.Instrumentatio
 	for _, tt := range traces {
 		run.TraceWords += len(tt.Words)
 	}
+	sp.End()
+	if r := opts.Obs; r.Enabled() {
+		r.Gauge("pipeline." + strategy + ".trace_words").Set(float64(run.TraceWords))
+		r.Gauge("pipeline." + strategy + ".profiling_cpu_nanos").Set(float64(run.CPUTime.Nanoseconds()))
+	}
+	sp = opts.Obs.StartSpan("pipeline." + strategy + ".postprocess")
+	defer sp.End()
 
 	if callGraph != nil {
 		order := core.PettisHansenOrder(img.Comp.CUs, callGraph)

@@ -8,6 +8,7 @@ import (
 	"nimage/internal/heap"
 	"nimage/internal/ir"
 	"nimage/internal/murmur"
+	"nimage/internal/obs"
 	"nimage/internal/osim"
 	"nimage/internal/vm"
 )
@@ -42,6 +43,7 @@ type Process struct {
 	AccessedObjects int
 
 	accessed map[*heap.Object]bool
+	obs      *obs.Registry
 	closed   bool
 }
 
@@ -56,6 +58,7 @@ func (img *Image) NewProcess(o *osim.OS, extra vm.Hooks) (*Process, error) {
 		Img:      img,
 		Mapping:  f.Map(),
 		accessed: make(map[*heap.Object]bool),
+		obs:      o.Obs,
 	}
 	m := vm.New(img.Program)
 	// Share the build-time heap state: the snapshot objects ARE the
@@ -63,6 +66,7 @@ func (img *Image) NewProcess(o *osim.OS, extra vm.Hooks) (*Process, error) {
 	m.Statics = img.Statics
 	m.Interns = img.Interns
 	m.BuildSalt = img.Opts.BuildSeed
+	m.Obs = o.Obs
 	m.EnableJournal()
 	m.Hooks = vm.ComposeHooks(p.hooks(), extra)
 	p.Machine = m
@@ -179,5 +183,15 @@ func (p *Process) Close() {
 		return
 	}
 	p.closed = true
+	if r := p.obs; r.Enabled() {
+		st := p.Stats()
+		r.Gauge("run.cpu_nanos").Set(float64(st.CPUTime.Nanoseconds()))
+		r.Gauge("run.io_nanos").Set(float64(st.IOTime.Nanoseconds()))
+		r.Gauge("run.total_nanos").Set(float64(st.Total.Nanoseconds()))
+		r.Gauge("run.time_to_response_nanos").Set(float64(st.TimeToResponse.Nanoseconds()))
+		r.Gauge("run.total_faults").Set(float64(st.TotalFaults))
+		r.Gauge("run.accessed_objects").Set(float64(st.AccessedObjects))
+		r.Gauge("run.snapshot_objects").Set(float64(st.SnapshotObjects))
+	}
 	p.Machine.Rollback()
 }

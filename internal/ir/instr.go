@@ -61,6 +61,9 @@ const (
 	OpIntrinsic
 )
 
+// NumOps is the number of opcodes; valid Op values are [0, NumOps).
+const NumOps = int(OpIntrinsic) + 1
+
 var opNames = [...]string{
 	OpConstInt: "const.i", OpConstFloat: "const.f", OpConstStr: "const.s",
 	OpConstNull: "const.null", OpMove: "move", OpArith: "arith",

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Sink consumes registry snapshots. Sinks are pluggable outputs: JSON and
+// CSV writers for files, MemorySink for tests.
+type Sink interface {
+	Write(s *Snapshot) error
+}
+
+// JSONSink writes snapshots as JSON documents to W.
+type JSONSink struct {
+	W io.Writer
+	// Indent pretty-prints the document.
+	Indent bool
+}
+
+// Write implements Sink.
+func (s JSONSink) Write(snap *Snapshot) error {
+	enc := json.NewEncoder(s.W)
+	if s.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(snap)
+}
+
+// ReadJSON decodes a snapshot written by JSONSink.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// CSVSink writes snapshots in a flat row-oriented CSV form readable by
+// ReadCSV. Row shapes:
+//
+//	counter,<name>,<value>
+//	gauge,<name>,<value>
+//	histogram,<name>,<count>,<sum>,<bounds ;-joined>,<counts ;-joined>
+//	span,<seq>,<name>,<duration_nanos>
+//	timeline,<name>,<fields ;-joined>
+//	event,<timeline>,<seq>,<label>,<values ;-joined>
+type CSVSink struct {
+	W io.Writer
+}
+
+// Write implements Sink.
+func (s CSVSink) Write(snap *Snapshot) error {
+	w := csv.NewWriter(s.W)
+	for _, c := range snap.Counters {
+		w.Write([]string{"counter", c.Name, strconv.FormatInt(c.Value, 10)})
+	}
+	for _, g := range snap.Gauges {
+		w.Write([]string{"gauge", g.Name, formatFloat(g.Value)})
+	}
+	for _, h := range snap.Histograms {
+		w.Write([]string{"histogram", h.Name,
+			strconv.FormatInt(h.Count, 10), formatFloat(h.Sum),
+			joinFloats(h.Bounds), joinInts(h.Counts)})
+	}
+	for _, sp := range snap.Spans {
+		w.Write([]string{"span", strconv.FormatInt(sp.Seq, 10), sp.Name, strconv.FormatInt(sp.DurationNanos, 10)})
+	}
+	for _, t := range snap.Timelines {
+		w.Write([]string{"timeline", t.Name, strings.Join(t.Fields, ";")})
+		for _, e := range t.Events {
+			w.Write([]string{"event", t.Name, strconv.FormatInt(e.Seq, 10), e.Label, joinInts(e.Values)})
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// ReadCSV decodes a snapshot written by CSVSink.
+func ReadCSV(r io.Reader) (*Snapshot, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	snap := &Snapshot{Schema: SchemaVersion}
+	timelines := make(map[string]*TimelinePoint)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: reading csv snapshot: %w", err)
+		}
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("obs: short csv row %q", rec)
+		}
+		switch rec[0] {
+		case "counter":
+			v, err := strconv.ParseInt(rec[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: counter %s: %w", rec[1], err)
+			}
+			snap.Counters = append(snap.Counters, CounterPoint{Name: rec[1], Value: v})
+		case "gauge":
+			v, err := strconv.ParseFloat(rec[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: gauge %s: %w", rec[1], err)
+			}
+			snap.Gauges = append(snap.Gauges, GaugePoint{Name: rec[1], Value: v})
+		case "histogram":
+			if len(rec) != 6 {
+				return nil, fmt.Errorf("obs: histogram row needs 6 fields, got %d", len(rec))
+			}
+			count, err := strconv.ParseInt(rec[2], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := strconv.ParseFloat(rec[3], 64)
+			if err != nil {
+				return nil, err
+			}
+			bounds, err := splitFloats(rec[4])
+			if err != nil {
+				return nil, err
+			}
+			counts, err := splitInts(rec[5])
+			if err != nil {
+				return nil, err
+			}
+			snap.Histograms = append(snap.Histograms, HistogramPoint{
+				Name: rec[1], Count: count, Sum: sum, Bounds: bounds, Counts: counts,
+			})
+		case "span":
+			if len(rec) != 4 {
+				return nil, fmt.Errorf("obs: span row needs 4 fields, got %d", len(rec))
+			}
+			seq, err := strconv.ParseInt(rec[1], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			d, err := strconv.ParseInt(rec[3], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			snap.Spans = append(snap.Spans, SpanPoint{Seq: seq, Name: rec[2], DurationNanos: d})
+		case "timeline":
+			var fields []string
+			if rec[2] != "" {
+				fields = strings.Split(rec[2], ";")
+			}
+			snap.Timelines = append(snap.Timelines, TimelinePoint{Name: rec[1], Fields: fields})
+			timelines[rec[1]] = &snap.Timelines[len(snap.Timelines)-1]
+		case "event":
+			if len(rec) != 5 {
+				return nil, fmt.Errorf("obs: event row needs 5 fields, got %d", len(rec))
+			}
+			t := timelines[rec[1]]
+			if t == nil {
+				return nil, fmt.Errorf("obs: event for unknown timeline %q", rec[1])
+			}
+			seq, err := strconv.ParseInt(rec[2], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			values, err := splitInts(rec[4])
+			if err != nil {
+				return nil, err
+			}
+			t.Events = append(t.Events, TimelineEvent{Seq: seq, Label: rec[3], Values: values})
+		default:
+			return nil, fmt.Errorf("obs: unknown csv row kind %q", rec[0])
+		}
+	}
+	return snap, nil
+}
+
+// MemorySink accumulates snapshots in memory for tests.
+type MemorySink struct {
+	mu        sync.Mutex
+	snapshots []*Snapshot
+}
+
+// Write implements Sink.
+func (s *MemorySink) Write(snap *Snapshot) error {
+	s.mu.Lock()
+	s.snapshots = append(s.snapshots, snap)
+	s.mu.Unlock()
+	return nil
+}
+
+// Snapshots returns the snapshots written so far.
+func (s *MemorySink) Snapshots() []*Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Snapshot(nil), s.snapshots...)
+}
+
+// formatFloat renders a float so that parsing it back is exact.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func joinFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = formatFloat(v)
+	}
+	return strings.Join(parts, ";")
+}
+
+func joinInts(vs []int64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return strings.Join(parts, ";")
+}
+
+func splitFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad float list %q: %w", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func splitInts(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad int list %q: %w", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -13,6 +13,8 @@ package osim
 import (
 	"fmt"
 	"time"
+
+	"nimage/internal/obs"
 )
 
 // PageSize is the page size in bytes (the paper uses 4 KiB pages).
@@ -54,6 +56,11 @@ type OS struct {
 	AdaptiveReadahead bool
 	// MaxReadahead caps the escalated window (pages).
 	MaxReadahead int
+
+	// Obs, when non-nil, receives per-fault timeline events and fault
+	// counters from every mapping created after it is set. A nil registry
+	// keeps the fault path free of instrumentation cost.
+	Obs *obs.Registry
 
 	files []*File
 }
@@ -162,6 +169,13 @@ type Mapping struct {
 	// index just past the previous read window; window the current size.
 	lastEnd int
 	window  int
+
+	// Observability handles, resolved once at Map() time so the fault path
+	// does no registry lookups. All are nil when the OS has no registry.
+	tl       *obs.Timeline
+	majorCtr []*obs.Counter // parallel to bySection, + catch-all at the end
+	minorCtr []*obs.Counter
+	readHist *obs.Histogram
 }
 
 // Map establishes a new mapping of the file (fresh virtual address space;
@@ -178,6 +192,18 @@ func (f *File) Map() *Mapping {
 	}
 	m.other.Section = "<other>"
 	m.lastEnd = -1
+	if r := f.os.Obs; r.Enabled() {
+		m.tl = r.Timeline("osim.faults", "offset", "page", "major", "io_nanos")
+		m.majorCtr = make([]*obs.Counter, len(f.Sections)+1)
+		m.minorCtr = make([]*obs.Counter, len(f.Sections)+1)
+		for i := range m.bySection {
+			m.majorCtr[i] = r.Counter("osim.fault.major." + m.bySection[i].Section)
+			m.minorCtr[i] = r.Counter("osim.fault.minor." + m.bySection[i].Section)
+		}
+		m.majorCtr[len(f.Sections)] = r.Counter("osim.fault.major.<other>")
+		m.minorCtr[len(f.Sections)] = r.Counter("osim.fault.minor.<other>")
+		m.readHist = r.Histogram("osim.read_pages", []float64{1, 2, 4, 8, 16, 32})
+	}
 	return m
 }
 
@@ -194,9 +220,11 @@ func (m *Mapping) Touch(off int64) {
 	// way the evaluation filters perf fault traces by section offsets.
 	m.Faults++
 	sf := &m.other
+	secIdx := len(m.bySection)
 	for i := range m.file.Sections {
 		if m.file.Sections[i].Contains(off) {
 			sf = &m.bySection[i]
+			secIdx = i
 			break
 		}
 	}
@@ -205,7 +233,9 @@ func (m *Mapping) Touch(off int64) {
 	if fa < 1 {
 		fa = 1
 	}
-	if m.file.resident[p] {
+	var faultIO time.Duration
+	major := !m.file.resident[p]
+	if !major {
 		sf.Minor++
 	} else {
 		sf.Major++
@@ -246,7 +276,21 @@ func (m *Mapping) Touch(off int64) {
 		}
 		m.lastEnd = end
 		dev := m.file.os.Device
-		m.IOTime += dev.SeekLatency + time.Duration(read)*dev.PerPage
+		faultIO = dev.SeekLatency + time.Duration(read)*dev.PerPage
+		m.IOTime += faultIO
+		if m.readHist != nil {
+			m.readHist.Observe(float64(read))
+		}
+	}
+	if m.tl != nil {
+		var mj int64
+		if major {
+			mj = 1
+			m.majorCtr[secIdx].Inc()
+		} else {
+			m.minorCtr[secIdx].Inc()
+		}
+		m.tl.Record(sf.Section, off, int64(p), mj, faultIO.Nanoseconds())
 	}
 	// Fault-around: map the resident pages of the surrounding window
 	// without further faults (the red cells of Fig. 6).

@@ -6,6 +6,7 @@ import (
 	"nimage/internal/graal"
 	"nimage/internal/heap"
 	"nimage/internal/ir"
+	"nimage/internal/obs"
 	"nimage/internal/vm"
 )
 
@@ -83,9 +84,44 @@ type Tracer struct {
 	ObjectHandle func(o *heap.Object) uint64
 	// AddCycles charges profiling overhead to the executing machine.
 	AddCycles func(int64)
+	// Obs, when non-nil, receives probe counts, buffer-flush statistics,
+	// and dump-mode byte totals. Handles are resolved lazily because Obs
+	// is typically assigned after NewTracer.
+	Obs *obs.Registry
 
 	threads map[int]*threadState
 	order   []int // thread creation order
+
+	obsReady   bool
+	cEvents    *obs.Counter   // probes fired (CU entries, method entries, access words)
+	cPaths     *obs.Counter   // completed Ball-Larus path records
+	cFlushes   *obs.Counter   // dump-on-full buffer flushes
+	cRemaps    *obs.Counter   // memory-mapped buffer remaps
+	cWords     *obs.Counter   // words made durable in the trace file
+	cLost      *obs.Counter   // words lost to SIGKILL in dump-on-full mode
+	hFlush     *obs.Histogram // flush sizes in words
+	bytesGauge *obs.Gauge     // total trace bytes written
+}
+
+// obsOn reports whether a registry is attached, resolving the metric
+// handles on first use so the event path does no registry lookups.
+func (t *Tracer) obsOn() bool {
+	if t.Obs == nil {
+		return false
+	}
+	if !t.obsReady {
+		t.obsReady = true
+		r := t.Obs
+		t.cEvents = r.Counter("profiler.events." + t.Kind.String())
+		t.cPaths = r.Counter("profiler.paths")
+		t.cFlushes = r.Counter("profiler.flushes")
+		t.cRemaps = r.Counter("profiler.remaps")
+		t.cWords = r.Counter("profiler.words_flushed")
+		t.cLost = r.Counter("profiler.words_lost")
+		t.hFlush = r.Histogram("profiler.flush_words", []float64{64, 256, 1024, 4096, 16384})
+		t.bytesGauge = r.Gauge("profiler.bytes_written")
+	}
+	return true
 }
 
 type pathState struct {
@@ -146,6 +182,10 @@ func (t *Tracer) appendWords(ts *threadState, words ...uint64) {
 		for _, w := range words {
 			if len(ts.buf) >= t.bufCap() {
 				t.charge(costRemap)
+				if t.obsOn() {
+					t.cRemaps.Inc()
+					t.cWords.Add(int64(len(ts.buf)))
+				}
 				ts.flushd = append(ts.flushd, ts.buf...)
 				ts.buf = ts.buf[:0]
 			}
@@ -164,7 +204,13 @@ func (t *Tracer) flush(ts *threadState) {
 	if len(ts.buf) == 0 {
 		return
 	}
-	t.charge(int64(len(ts.buf)) * costFlushPerWord)
+	n := int64(len(ts.buf))
+	t.charge(n * costFlushPerWord)
+	if t.obsOn() {
+		t.cFlushes.Inc()
+		t.cWords.Add(n)
+		t.hFlush.Observe(float64(n))
+	}
 	ts.flushd = append(ts.flushd, ts.buf...)
 	ts.buf = ts.buf[:0]
 }
@@ -176,12 +222,18 @@ func (t *Tracer) Hooks() vm.Hooks {
 	case graal.InstrCU:
 		h.OnEnterCU = func(tid int, root *ir.Method) {
 			t.charge(costEvent(t.Mode))
+			if t.obsOn() {
+				t.cEvents.Inc()
+			}
 			ts := t.state(tid)
 			t.appendWords(ts, uint64(t.MethodIdx[root])<<3|tagCUEntry)
 		}
 	case graal.InstrMethod:
 		h.OnMethodEnter = func(tid int, m *ir.Method) {
 			t.charge(costEvent(t.Mode))
+			if t.obsOn() {
+				t.cEvents.Inc()
+			}
 			ts := t.state(tid)
 			t.appendWords(ts, uint64(t.MethodIdx[m])<<3|tagMethodEntry)
 		}
@@ -234,6 +286,9 @@ func (t *Tracer) Hooks() vm.Hooks {
 				return
 			}
 			t.charge(costAccessWord)
+			if t.obsOn() {
+				t.cEvents.Inc()
+			}
 			ts := t.state(tid)
 			if len(ts.stack) == 0 {
 				return
@@ -271,6 +326,9 @@ func (t *Tracer) emitPath(ts *threadState, ps *pathState) {
 		emit = costPathEmitMmap
 	}
 	t.charge(emit + int64(len(ps.accesses))/2)
+	if t.obsOn() {
+		t.cPaths.Inc()
+	}
 	words := make([]uint64, 0, 3+len(ps.accesses))
 	words = append(words,
 		uint64(t.MethodIdx[ps.m])<<3|tagPathHeader,
@@ -288,6 +346,7 @@ func (t *Tracer) emitPath(ts *threadState, ps *pathState) {
 // while MemoryMapped preserves them (Sec. 6.1).
 func (t *Tracer) Finish(killed bool) []ThreadTrace {
 	var out []ThreadTrace
+	var durable, lost int64
 	sort.Ints(t.order)
 	for _, tid := range t.order {
 		ts := t.threads[tid]
@@ -295,8 +354,15 @@ func (t *Tracer) Finish(killed bool) []ThreadTrace {
 			// Normal termination runs the thread-termination handlers;
 			// memory-mapped buffers are always durable.
 			t.flush(ts)
+		} else {
+			lost += int64(len(ts.buf))
 		}
+		durable += int64(len(ts.flushd))
 		out = append(out, ThreadTrace{TID: tid, Words: ts.flushd})
+	}
+	if t.obsOn() {
+		t.cLost.Add(lost)
+		t.bytesGauge.Set(float64(durable * 8))
 	}
 	return out
 }

@@ -21,6 +21,9 @@ func (m *Machine) step(t *thread) (yielded bool, err error) {
 	in := &blk.Instrs[f.ip]
 	f.ip++
 	m.Cycles += costInstr
+	if m.mixOn {
+		m.mix[in.Op]++
+	}
 
 	if m.AutoClinit {
 		var trigger *ir.Class

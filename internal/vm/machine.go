@@ -17,6 +17,7 @@ import (
 
 	"nimage/internal/heap"
 	"nimage/internal/ir"
+	"nimage/internal/obs"
 )
 
 // Hooks receive execution events. Any hook may be nil.
@@ -89,6 +90,11 @@ type Machine struct {
 	// of the explicit initialization order can never run a dependent
 	// initializer before its dependencies.
 	AutoClinit bool
+	// Obs, when non-nil, receives the executed instruction mix and the
+	// sim-time breakdown when a scheduling round finishes. The interpreter
+	// loop pays a single local-array increment per instruction when a
+	// registry is attached and nothing at all otherwise.
+	Obs *obs.Registry
 
 	// Steps counts executed instructions; Cycles accumulates the cost
 	// model. CyclesAtRespond snapshots Cycles at the first response.
@@ -105,6 +111,11 @@ type Machine struct {
 	nextTID     int
 	journal     *journal
 	lastResult  heap.Value
+
+	// mix accumulates per-opcode execution counts between finish() flushes;
+	// mixOn caches Obs != nil for the duration of one schedule() run.
+	mix   [ir.NumOps]int64
+	mixOn bool
 }
 
 // New creates a machine over a resolved program with fresh statics and
@@ -268,6 +279,7 @@ func (m *Machine) spawnThread(entry *ir.Method, args []heap.Value) *thread {
 
 // schedule runs all threads round-robin until completion or stop.
 func (m *Machine) schedule() error {
+	m.mixOn = m.Obs.Enabled()
 	for {
 		live := 0
 		progressed := false
@@ -303,6 +315,26 @@ func (m *Machine) finish() {
 	// further RunMethod (build-time clinit sequences do this).
 	m.threads = m.threads[:0]
 	m.stop = false
+	if m.mixOn {
+		m.flushObs()
+	}
+}
+
+// flushObs publishes the instruction mix gathered since the last flush and
+// the cumulative sim-time breakdown. Mix counters are deltas (Add) so that
+// repeated schedule() rounds on a reused machine accumulate; the totals are
+// gauges reflecting the machine's lifetime state.
+func (m *Machine) flushObs() {
+	for op := 0; op < ir.NumOps; op++ {
+		if m.mix[op] != 0 {
+			m.Obs.Counter("vm.instr." + ir.Op(op).String()).Add(m.mix[op])
+			m.mix[op] = 0
+		}
+	}
+	m.Obs.Gauge("vm.steps").Set(float64(m.Steps))
+	m.Obs.Gauge("vm.cycles").Set(float64(m.Cycles))
+	m.Obs.Gauge("vm.cpu_nanos").Set(m.SimTimeNanos())
+	m.Obs.Gauge("vm.threads").Set(float64(m.nextTID))
 }
 
 // runQuantum executes up to Quantum instructions on thread t.

@@ -35,6 +35,7 @@ import (
 	"nimage/internal/heap"
 	"nimage/internal/image"
 	"nimage/internal/ir"
+	"nimage/internal/obs"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
 	"nimage/internal/textviz"
@@ -190,6 +191,44 @@ func ObjEntity(o *HeapObject) Entity { return heap.ObjEntity(o) }
 func OrderObjects(objs []*HeapObject, ids map[*HeapObject]uint64, profile []uint64) core.MatchResult {
 	return core.OrderObjects(objs, ids, profile)
 }
+
+// MatchBreakdown is the serializable per-strategy summary of a match:
+// matched / unmatched / collision-grouped objects and the match rate.
+type MatchBreakdown = core.MatchBreakdown
+
+// Observability.
+//
+// The toolchain is instrumented throughout with a lightweight metrics
+// registry: image builds emit per-stage spans and size gauges, the OS
+// simulator emits per-section fault timelines, the profiler its probe and
+// buffer statistics, and the interpreter its instruction mix. Attach a
+// registry through BuildOptions.Obs, PipelineOptions.Obs, or OS.Obs; a nil
+// registry (the default) makes every instrumentation site a no-op.
+
+// ObsRegistry collects counters, gauges, histograms, spans, and timelines.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a deterministic point-in-time copy of a registry.
+type ObsSnapshot = obs.Snapshot
+
+// ObsSink consumes snapshots (JSON, CSV, or in-memory).
+type (
+	ObsSink       = obs.Sink
+	ObsJSONSink   = obs.JSONSink
+	ObsCSVSink    = obs.CSVSink
+	ObsMemorySink = obs.MemorySink
+)
+
+// NewObsRegistry creates an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// RunReport is the observability snapshot attached to each measured
+// iteration when the harness runs with EvalConfig.Observe.
+type RunReport = eval.RunReport
+
+// EvalReport is the consolidated observability document of an evaluation
+// (see Harness.Report and `nimage-eval`'s output/report.json).
+type EvalReport = eval.Report
 
 // Image recipes (.nimg container).
 
