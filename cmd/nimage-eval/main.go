@@ -52,11 +52,13 @@ func main() {
 	out := flag.String("out", "output", "output directory for CSV/PPM files")
 	bench := flag.String("bench", "BENCH_baseline.json", "benchmark-baseline JSON path (empty = skip)")
 	viz := flag.String("viz-workload", "Bounce", "workload of the Fig. 6 visualization")
+	workers := flag.Int("workers", 0, "concurrent build+measure tasks (0 = GOMAXPROCS; results are identical for every count)")
 	flag.Parse()
 
 	cfg := eval.DefaultConfig()
 	cfg.Builds = *builds
 	cfg.Iterations = *iters
+	cfg.Workers = *workers
 	if *device == "nfs" {
 		cfg.Device = osim.NFS()
 	}
@@ -93,7 +95,8 @@ func main() {
 		fmt.Printf("wrote %s\n\n", path)
 		geo := map[string]float64{}
 		for _, s := range t.Strategies {
-			if c := t.Get(eval.GeoMeanRow, s); c != nil {
+			// Degenerate cells carry NaN factors, which encoding/json rejects.
+			if c := t.Get(eval.GeoMeanRow, s); c != nil && !c.Degenerate {
 				geo[s] = c.Factor
 			}
 		}
@@ -236,8 +239,14 @@ func main() {
 		fmt.Printf("wrote %s (%d figures)\n", *bench, len(baseline.Figures))
 	}
 
+	wall := time.Since(start)
 	fmt.Printf("done in %v (builds=%d, iterations=%d, device=%s)\n",
-		time.Since(start).Round(time.Millisecond), cfg.Builds, cfg.Iterations, cfg.Device.Name)
+		wall.Round(time.Millisecond), cfg.Builds, cfg.Iterations, cfg.Device.Name)
+	if work := h.WorkDuration(); work > 0 && wall > 0 {
+		fmt.Printf("scheduler: %d workers, %v of build+measure work in %v wall clock (%.2fx)\n",
+			h.Workers(), work.Round(time.Millisecond), wall.Round(time.Millisecond),
+			work.Seconds()/wall.Seconds())
+	}
 }
 
 func fail(err error) {

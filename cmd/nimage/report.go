@@ -10,6 +10,7 @@ import (
 
 	"nimage"
 	"nimage/internal/eval"
+	"nimage/internal/obs"
 	"nimage/internal/workloads"
 )
 
@@ -31,6 +32,7 @@ func cmdReport(args []string) error {
 	strategies := fs.String("strategies", "cu,heap path", "comma-separated strategies (empty = baseline only)")
 	builds := fs.Int("builds", 1, "images per strategy")
 	iters := fs.Int("iters", 1, "cold iterations per image")
+	workers := fs.Int("workers", 0, "concurrent build+measure tasks (0 = GOMAXPROCS; results are identical for every count)")
 	out := fs.String("o", "report.json", "output JSON path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +56,7 @@ func cmdReport(args []string) error {
 	cfg := nimage.DefaultEvalConfig()
 	cfg.Builds = *builds
 	cfg.Iterations = *iters
+	cfg.Workers = *workers
 	cfg.Observe = true
 	h := nimage.NewHarness(cfg)
 	rep, err := h.Report(ws, strats)
@@ -94,10 +97,12 @@ func printEntrySummary(e eval.ReportEntry) {
 		for _, sp := range p.Spans {
 			fmt.Printf("    %-42s %v\n", sp.Name, time.Duration(sp.DurationNanos))
 		}
-		if n := p.Counter("profiler.paths"); n > 0 {
-			fmt.Printf("    profiler: %d paths, %d flushes, %d remaps, %.0f trace bytes\n",
-				n, p.Counter("profiler.flushes"), p.Counter("profiler.remaps"),
-				p.Gauge("profiler.bytes_written"))
+		// Profiler totals aggregate over every build of the entry.
+		merged := obs.MergeSnapshots(e.Pipeline...)
+		if n := merged.Counter("profiler.paths"); n > 0 {
+			fmt.Printf("    profiler (all %d builds): %d paths, %d flushes, %d remaps, %.0f trace bytes\n",
+				len(e.Pipeline), n, merged.Counter("profiler.flushes"), merged.Counter("profiler.remaps"),
+				merged.Gauge("profiler.bytes_written"))
 		}
 	}
 	if len(e.Runs) > 0 {

@@ -28,12 +28,87 @@ func TestStatsFunctions(t *testing.T) {
 	if math.Abs(sd-math.Sqrt2) > 1e-9 {
 		t.Errorf("StdDev = %v", sd)
 	}
-	if RatioCI(0, 1, 1, 1) != 0 {
-		t.Error("RatioCI zero numerator")
+	// A zero numerator with spread must still report the denominator-scaled
+	// uncertainty, not collapse to "no interval at all".
+	if got := RatioCI(0, 1, 1, 1); got != 1 {
+		t.Errorf("RatioCI zero numerator = %v, want 1", got)
 	}
 	ci := RatioCI(10, 1, 5, 0.5)
 	if ci <= 0 {
 		t.Errorf("RatioCI = %v", ci)
+	}
+}
+
+func TestStatsDegenerateInputs(t *testing.T) {
+	// Empty and singleton inputs.
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if Mean([]float64{7}) != 7 {
+		t.Error("Mean singleton")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil)")
+	}
+	if math.Abs(GeoMean([]float64{3})-3) > 1e-9 {
+		t.Error("GeoMean singleton")
+	}
+	if GeoMean([]float64{0, 2}) != 0 {
+		t.Error("GeoMean with zero element")
+	}
+	if CI95(nil) != 0 || CI95([]float64{5}) != 0 {
+		t.Error("CI95 needs n >= 2")
+	}
+	if ci := CI95([]float64{1, 1, 1}); ci != 0 {
+		t.Errorf("CI95 of constant samples = %v", ci)
+	}
+	// Zero-valued sides of a ratio.
+	if !math.IsNaN(RatioCI(1, 1, 0, 1)) {
+		t.Error("RatioCI zero denominator must be NaN")
+	}
+	if !math.IsNaN(RatioCI(0, 0, 0, 0)) {
+		t.Error("RatioCI all-zero must be NaN")
+	}
+	if RatioCI(0, 0, 4, 0) != 0 {
+		t.Error("RatioCI exact zeros with nonzero denominator")
+	}
+}
+
+func TestFactorCellDegenerate(t *testing.T) {
+	// An optimized mean of zero cannot yield a finite improvement factor:
+	// the cell must be explicitly degenerate, never Factor == 0 ("infinitely
+	// worse") as before.
+	c := FactorCell("w", "s", []float64{4, 4}, []float64{0, 0})
+	if !c.Degenerate {
+		t.Fatal("zero optimized mean must mark the cell degenerate")
+	}
+	if !math.IsNaN(c.Factor) || !math.IsNaN(c.CI) {
+		t.Errorf("degenerate cell carries Factor=%v CI=%v, want NaN", c.Factor, c.CI)
+	}
+	// A healthy cell stays untouched.
+	c = FactorCell("w", "s", []float64{4, 4}, []float64{2, 2})
+	if c.Degenerate || c.Factor != 2 {
+		t.Errorf("healthy cell: %+v", c)
+	}
+
+	// Degenerate cells are excluded from geomeans; an all-degenerate column
+	// yields a degenerate geomean instead of a panic or a zero.
+	tbl := &Table{Strategies: []string{"a", "b"}, Cells: []Cell{
+		{Workload: "w1", Strategy: "a", Factor: 2},
+		{Workload: "w1", Strategy: "b", Factor: math.NaN(), Degenerate: true},
+		{Workload: "w2", Strategy: "a", Factor: 8},
+		{Workload: "w2", Strategy: "b", Factor: math.NaN(), Degenerate: true},
+	}}
+	tbl.AddGeoMean()
+	if g := tbl.Get(GeoMeanRow, "a"); g == nil || math.Abs(g.Factor-4) > 1e-9 || g.Degenerate {
+		t.Errorf("geomean a = %+v", g)
+	}
+	if g := tbl.Get(GeoMeanRow, "b"); g == nil || !g.Degenerate || !math.IsNaN(g.Factor) {
+		t.Errorf("geomean b = %+v", g)
+	}
+	// Degenerate cells render as an explicit marker, not a bar of NaN width.
+	if r := tbl.Render(); !strings.Contains(r, "n/a (zero mean)") {
+		t.Errorf("render lacks degenerate marker:\n%s", r)
 	}
 }
 

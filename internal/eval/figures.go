@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"nimage/internal/core"
@@ -13,8 +14,13 @@ import (
 )
 
 // pageFaultTable measures the page-fault reduction of every strategy on a
-// workload set (Figures 2 and 3).
+// workload set (Figures 2 and 3). The full (workload, strategy, build)
+// matrix is prefetched through the scheduler; assembly afterwards is pure
+// cache reads in deterministic order.
 func (h *Harness) pageFaultTable(title string, ws []workloads.Workload) (*Table, error) {
+	if err := h.Prefetch(ws, Strategies()); err != nil {
+		return nil, err
+	}
 	t := &Table{Title: title, Metric: "page-fault reduction", Strategies: Strategies()}
 	for _, w := range ws {
 		base, err := h.MeasureBaseline(w)
@@ -44,6 +50,9 @@ func (h *Harness) pageFaultTable(title string, ws []workloads.Workload) (*Table,
 // speedupTable measures the execution-time speedup of every strategy
 // (Figures 4 and 5).
 func (h *Harness) speedupTable(title string, ws []workloads.Workload) (*Table, error) {
+	if err := h.Prefetch(ws, Strategies()); err != nil {
+		return nil, err
+	}
 	t := &Table{Title: title, Metric: "execution-time speedup", Strategies: Strategies()}
 	for _, w := range ws {
 		base, err := h.MeasureBaseline(w)
@@ -104,6 +113,9 @@ func (h *Harness) Overhead(ws []workloads.Workload) (*Table, error) {
 		"method": core.StrategyMethod,
 		"heap":   core.StrategyHeapPath,
 	}
+	if err := h.Prefetch(ws, []string{core.StrategyCU, core.StrategyMethod, core.StrategyHeapPath}); err != nil {
+		return nil, err
+	}
 	for _, w := range ws {
 		base, err := h.MeasureBaseline(w)
 		if err != nil {
@@ -124,7 +136,13 @@ func (h *Harness) Overhead(ws []workloads.Workload) (*Table, error) {
 			}
 			pm, bm := Mean(pt), Mean(bt)
 			c := Cell{Workload: w.Name, Strategy: g, BaselineMean: bm, OptimizedMean: pm}
-			if bm > 0 {
+			if bm == 0 {
+				// Unmeasurable overhead ratio: mark explicitly, as in
+				// FactorCell.
+				c.Degenerate = true
+				c.Factor = math.NaN()
+				c.CI = math.NaN()
+			} else {
 				c.Factor = pm / bm
 				c.CI = RatioCI(pm, CI95(pt), bm, CI95(bt))
 			}
@@ -141,6 +159,9 @@ func (h *Harness) Overhead(ws []workloads.Workload) (*Table, error) {
 // AccessedFraction measures the fraction of snapshot objects a workload
 // accesses (the paper reports ~4% on AWFY, Sec. 7.2).
 func (h *Harness) AccessedFraction(ws []workloads.Workload) (map[string]float64, error) {
+	if err := h.Prefetch(ws, nil); err != nil {
+		return nil, err
+	}
 	out := make(map[string]float64, len(ws))
 	for _, w := range ws {
 		ms, err := h.MeasureBaseline(w)

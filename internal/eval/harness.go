@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"nimage/internal/core"
@@ -39,6 +40,11 @@ type Config struct {
 	// snapshots of the outcomes. Off by default: the measurement fast paths
 	// then carry no instrumentation cost.
 	Observe bool
+	// Workers bounds the number of concurrently executing build+measure
+	// tasks of the scheduler. 0 (the default) means runtime.GOMAXPROCS(0);
+	// 1 recovers a fully serial run. Results are bit-identical for every
+	// worker count — see the determinism contract in scheduler.go.
+	Workers int
 }
 
 // DefaultConfig returns the evaluation defaults.
@@ -90,7 +96,10 @@ type RunReport = obs.Snapshot
 
 // Harness caches built programs and memoizes measurements, so figures
 // sharing the same underlying runs (e.g. Figures 2 and 5 on AWFY) measure
-// each workload/strategy pair once.
+// each workload/strategy pair once. A Harness is safe for concurrent use:
+// duplicate concurrent measurements of the same key collapse onto one
+// in-flight computation (singleflight), and the per-build work of each
+// measurement fans out across the scheduler's worker pool (scheduler.go).
 type Harness struct {
 	Cfg Config
 
@@ -98,6 +107,8 @@ type Harness struct {
 	progs      map[string]*ir.Program
 	baseCache  map[string]*BaselineOutcome
 	stratCache map[string]*StrategyOutcome
+
+	sched sched
 }
 
 // NewHarness creates a harness.
@@ -110,16 +121,31 @@ func NewHarness(cfg Config) *Harness {
 	}
 }
 
-// Program returns the (cached) program of a workload.
+// Program returns the (cached) program of a workload. Concurrent callers
+// for the same workload share one build.
 func (h *Harness) Program(w workloads.Workload) *ir.Program {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	p, ok := h.progs[w.Name]
-	if !ok {
-		p = w.Build()
-		h.progs[w.Name] = p
+	p := h.progs[w.Name]
+	h.mu.Unlock()
+	if p != nil {
+		return p
 	}
-	return p
+	h.once("prog\x00"+w.Name, func() error {
+		h.mu.Lock()
+		cached := h.progs[w.Name] != nil
+		h.mu.Unlock()
+		if cached {
+			return nil
+		}
+		built := w.Build()
+		h.mu.Lock()
+		h.progs[w.Name] = built
+		h.mu.Unlock()
+		return nil
+	})
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.progs[w.Name]
 }
 
 func (h *Harness) newOS() *osim.OS {
@@ -155,7 +181,7 @@ func (h *Harness) measureImage(img *image.Image, w workloads.Workload) ([]RunMea
 			TextFaults:   float64(st.TextFaults.Total()),
 			HeapFaults:   float64(st.HeapFaults.Total()),
 			CPUSeconds:   st.CPUTime.Seconds(),
-			AccessedFrac: float64(st.AccessedObjects) / float64(st.SnapshotObjects),
+			AccessedFrac: accessedFraction(st.AccessedObjects, st.SnapshotObjects),
 		}
 		if w.Service {
 			if st.TimeToResponse <= 0 {
@@ -175,6 +201,17 @@ func (h *Harness) measureImage(img *image.Image, w workloads.Workload) ([]RunMea
 	return out, nil
 }
 
+// accessedFraction returns the fraction of snapshot objects accessed, 0
+// for images with an empty snapshot — a plain division would yield NaN,
+// which encoding/json refuses to marshal when the measures reach
+// output/report.json.
+func accessedFraction(accessed, snapshot int) float64 {
+	if snapshot <= 0 {
+		return 0
+	}
+	return float64(accessed) / float64(snapshot)
+}
+
 // baselineSeed and friends derive deterministic build seeds.
 func baselineSeed(build int) uint64     { return 0x5eed0000 + uint64(build) }
 func instrumentedSeed(build int) uint64 { return 0x1457a000 + uint64(build)*31 }
@@ -189,6 +226,12 @@ type BaselineOutcome struct {
 	Pipeline []*obs.Snapshot
 }
 
+// MergedPipeline aggregates the per-build pipeline snapshots in build
+// order (obs.MergeSnapshots); empty when the harness ran detached.
+func (o *BaselineOutcome) MergedPipeline() *obs.Snapshot {
+	return obs.MergeSnapshots(o.Pipeline...)
+}
+
 // MeasureBaseline builds and measures the unmodified images of a workload.
 // Results are memoized per workload.
 func (h *Harness) MeasureBaseline(w workloads.Workload) ([]RunMeasure, error) {
@@ -200,17 +243,48 @@ func (h *Harness) MeasureBaseline(w workloads.Workload) ([]RunMeasure, error) {
 }
 
 // MeasureBaselineOutcome is MeasureBaseline plus the per-build pipeline
-// snapshots.
+// snapshots. Concurrent callers for the same workload block on one
+// in-flight measurement instead of duplicating the builds.
 func (h *Harness) MeasureBaselineOutcome(w workloads.Workload) (*BaselineOutcome, error) {
-	h.mu.Lock()
-	if o, ok := h.baseCache[w.Name]; ok {
-		h.mu.Unlock()
+	if o := h.cachedBaseline(w.Name); o != nil {
 		return o, nil
 	}
-	h.mu.Unlock()
+	err := h.once("base\x00"+w.Name, func() error {
+		if h.cachedBaseline(w.Name) != nil {
+			return nil
+		}
+		out, err := h.measureBaseline(w)
+		if err != nil {
+			return err
+		}
+		h.mu.Lock()
+		h.baseCache[w.Name] = out
+		h.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h.cachedBaseline(w.Name), nil
+}
+
+func (h *Harness) cachedBaseline(name string) *BaselineOutcome {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.baseCache[name]
+}
+
+// measureBaseline builds and measures every baseline image of a workload,
+// fanning the builds out across the worker pool. All result slices are
+// pre-sized and indexed by build, so the outcome is identical for every
+// worker count and completion order.
+func (h *Harness) measureBaseline(w workloads.Workload) (*BaselineOutcome, error) {
 	p := h.Program(w)
-	out := &BaselineOutcome{}
-	for bld := 0; bld < h.Cfg.Builds; bld++ {
+	iters := h.Cfg.Iterations
+	measures := make([]RunMeasure, h.Cfg.Builds*iters)
+	snaps := make([]*obs.Snapshot, h.Cfg.Builds)
+	err := h.forEach(h.Cfg.Builds, func(bld int) error {
+		h.sched.buildTasks.Add(1)
 		var r *obs.Registry
 		if h.Cfg.Observe {
 			r = obs.NewRegistry()
@@ -222,21 +296,34 @@ func (h *Harness) MeasureBaselineOutcome(w workloads.Workload) (*BaselineOutcome
 			Obs:       r,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("eval: baseline build of %s: %w", w.Name, err)
+			return fmt.Errorf("eval: baseline build of %s: %w", w.Name, err)
 		}
 		ms, err := h.measureImage(img, w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Measures = append(out.Measures, ms...)
+		copy(measures[bld*iters:(bld+1)*iters], ms)
 		if r != nil {
-			out.Pipeline = append(out.Pipeline, r.Snapshot())
+			snaps[bld] = r.Snapshot()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineOutcome{Measures: measures, Pipeline: compactSnapshots(snaps)}, nil
+}
+
+// compactSnapshots drops nil entries while preserving build order: every
+// entry is set when the harness observes, none otherwise.
+func compactSnapshots(snaps []*obs.Snapshot) []*obs.Snapshot {
+	var out []*obs.Snapshot
+	for _, s := range snaps {
+		if s != nil {
+			out = append(out, s)
 		}
 	}
-	h.mu.Lock()
-	h.baseCache[w.Name] = out
-	h.mu.Unlock()
-	return out, nil
+	return out
 }
 
 // StrategyOutcome is the measurement of one strategy on one workload.
@@ -259,24 +346,64 @@ type StrategyOutcome struct {
 	Pipeline []*obs.Snapshot
 }
 
+// MergedPipeline aggregates the per-build pipeline snapshots in build
+// order (obs.MergeSnapshots); empty when the harness ran detached.
+func (o *StrategyOutcome) MergedPipeline() *obs.Snapshot {
+	return obs.MergeSnapshots(o.Pipeline...)
+}
+
 // MeasureStrategy runs the full pipeline for one strategy on one workload.
-// Results are memoized per (workload, strategy).
+// Results are memoized per (workload, strategy); concurrent callers for
+// the same key block on one in-flight measurement instead of duplicating
+// the pipelines.
 func (h *Harness) MeasureStrategy(w workloads.Workload, strategy string) (*StrategyOutcome, error) {
 	key := w.Name + "\x00" + strategy
-	h.mu.Lock()
-	if o, ok := h.stratCache[key]; ok {
-		h.mu.Unlock()
+	if o := h.cachedStrategy(key); o != nil {
 		return o, nil
 	}
-	h.mu.Unlock()
+	err := h.once("strat\x00"+key, func() error {
+		if h.cachedStrategy(key) != nil {
+			return nil
+		}
+		out, err := h.measureStrategy(w, strategy)
+		if err != nil {
+			return err
+		}
+		h.mu.Lock()
+		h.stratCache[key] = out
+		h.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h.cachedStrategy(key), nil
+}
+
+func (h *Harness) cachedStrategy(key string) *StrategyOutcome {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stratCache[key]
+}
+
+// measureStrategy runs the full pipeline of one strategy over every build
+// seed, fanning the builds out across the worker pool. Like
+// measureBaseline, every result slice is indexed by build, so the outcome
+// is bit-identical for every worker count.
+func (h *Harness) measureStrategy(w workloads.Workload, strategy string) (*StrategyOutcome, error) {
 	p := h.Program(w)
 	mode := profiler.DumpOnFull
 	if w.Service {
 		// Killed workloads need durable buffers (Sec. 6.1).
 		mode = profiler.MemoryMapped
 	}
+	iters := h.Cfg.Iterations
 	out := &StrategyOutcome{Strategy: strategy}
-	for bld := 0; bld < h.Cfg.Builds; bld++ {
+	measures := make([]RunMeasure, h.Cfg.Builds*iters)
+	profiling := make([][]image.ProfilingRun, h.Cfg.Builds)
+	snaps := make([]*obs.Snapshot, h.Cfg.Builds)
+	err := h.forEach(h.Cfg.Builds, func(bld int) error {
+		h.sched.buildTasks.Add(1)
 		var r *obs.Registry
 		if h.Cfg.Observe {
 			r = obs.NewRegistry()
@@ -292,26 +419,36 @@ func (h *Harness) MeasureStrategy(w workloads.Workload, strategy string) (*Strat
 			Obs:              r,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("eval: %s/%s: %w", w.Name, strategy, err)
+			return fmt.Errorf("eval: %s/%s: %w", w.Name, strategy, err)
 		}
 		ms, err := h.measureImage(res.Optimized, w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Measures = append(out.Measures, ms...)
-		out.Profiling = append(out.Profiling, res.Runs...)
-		out.CodeMatched = res.Optimized.CodeOrderStats.Matched
-		out.HeapMatched = res.Optimized.HeapMatchStats.MatchedObjects
-		if res.Optimized.Opts.HeapStrategy != nil && len(res.Optimized.Opts.HeapProfile) > 0 {
-			out.HeapMatch = res.Optimized.HeapMatchStats.Breakdown(res.Optimized.Opts.HeapStrategy.Name())
+		copy(measures[bld*iters:(bld+1)*iters], ms)
+		profiling[bld] = res.Runs
+		if bld == h.Cfg.Builds-1 {
+			// Match statistics report the last build (only this task
+			// writes them).
+			out.CodeMatched = res.Optimized.CodeOrderStats.Matched
+			out.HeapMatched = res.Optimized.HeapMatchStats.MatchedObjects
+			if res.Optimized.Opts.HeapStrategy != nil && len(res.Optimized.Opts.HeapProfile) > 0 {
+				out.HeapMatch = res.Optimized.HeapMatchStats.Breakdown(res.Optimized.Opts.HeapStrategy.Name())
+			}
 		}
 		if r != nil {
-			out.Pipeline = append(out.Pipeline, r.Snapshot())
+			snaps[bld] = r.Snapshot()
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	h.mu.Lock()
-	h.stratCache[key] = out
-	h.mu.Unlock()
+	out.Measures = measures
+	for _, runs := range profiling {
+		out.Profiling = append(out.Profiling, runs...)
+	}
+	out.Pipeline = compactSnapshots(snaps)
 	return out, nil
 }
 
@@ -330,15 +467,22 @@ func metricOf(strategy string, m RunMeasure) float64 {
 }
 
 // FactorCell computes the baseline/optimized factor cell for one metric.
+// A zero optimized mean makes the ratio unmeasurable; the cell is then
+// explicitly marked degenerate (NaN factor) instead of carrying a silent
+// Factor == 0, which would read as "0× = infinitely worse" in CSV/charts.
 func FactorCell(workload, strategy string, baseline, optimized []float64) Cell {
 	bm, om := Mean(baseline), Mean(optimized)
 	c := Cell{
 		Workload: workload, Strategy: strategy,
 		BaselineMean: bm, OptimizedMean: om,
 	}
-	if om > 0 {
-		c.Factor = bm / om
-		c.CI = RatioCI(bm, CI95(baseline), om, CI95(optimized))
+	if om == 0 {
+		c.Degenerate = true
+		c.Factor = math.NaN()
+		c.CI = math.NaN()
+		return c
 	}
+	c.Factor = bm / om
+	c.CI = RatioCI(bm, CI95(baseline), om, CI95(optimized))
 	return c
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"time"
 
 	"nimage/internal/core"
 	"nimage/internal/obs"
@@ -18,11 +20,19 @@ const ReportSchema = "nimage.report/v1"
 // profiler dump statistics, match gauges) and the per-iteration run
 // snapshots (fault timelines, instruction mix, run totals).
 type Report struct {
-	Schema     string        `json:"schema"`
-	Device     string        `json:"device"`
-	Builds     int           `json:"builds"`
-	Iterations int           `json:"iterations"`
-	Entries    []ReportEntry `json:"entries"`
+	Schema     string `json:"schema"`
+	Device     string `json:"device"`
+	Builds     int    `json:"builds"`
+	Iterations int    `json:"iterations"`
+	// Workers is the scheduler's worker-pool size while producing this
+	// document.
+	Workers int `json:"workers"`
+	// ParallelSpeedup is the ratio of cumulative build+measure task time
+	// to the wall-clock time the measurements took — the effective
+	// parallelism the scheduler achieved (≈1 for a serial run, 0 when
+	// everything was already memoized).
+	ParallelSpeedup float64       `json:"parallel_speedup"`
+	Entries         []ReportEntry `json:"entries"`
 }
 
 // ReportEntry is the report of one (workload, strategy) pair. Strategy is
@@ -55,6 +65,18 @@ func (h *Harness) Report(ws []workloads.Workload, strategies []string) (*Report,
 		Device:     h.Cfg.Device.Name,
 		Builds:     h.Cfg.Builds,
 		Iterations: h.Cfg.Iterations,
+		Workers:    h.Workers(),
+	}
+	start := time.Now()
+	workBefore := h.WorkDuration()
+	if err := h.Prefetch(ws, strategies); err != nil {
+		return nil, err
+	}
+	if wall := time.Since(start); wall > 0 {
+		work := h.WorkDuration() - workBefore
+		// Rounded so the document stays readable; the value is inherently
+		// timing-dependent (unlike the measures, which are deterministic).
+		rep.ParallelSpeedup = math.Round(100*work.Seconds()/wall.Seconds()) / 100
 	}
 	for _, w := range ws {
 		base, err := h.MeasureBaselineOutcome(w)

@@ -1,0 +1,205 @@
+package eval
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"nimage/internal/core"
+	"nimage/internal/workloads"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	h := NewHarness(DefaultConfig())
+	if got := h.Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 3
+	if got := NewHarness(cfg).Workers(); got != 3 {
+		t.Errorf("Workers() = %d, want 3", got)
+	}
+}
+
+// TestParallelDeterminism is the scheduler's core contract: the full figure
+// pipeline produces byte-identical CSV output regardless of worker count.
+func TestParallelDeterminism(t *testing.T) {
+	var ws []workloads.Workload
+	for _, n := range []string{"Sieve", "Towers"} {
+		w, err := workloads.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	run := func(workers int) *Table {
+		cfg := DefaultConfig()
+		cfg.Builds = 2
+		cfg.Iterations = 1
+		cfg.Workers = workers
+		h := NewHarness(cfg)
+		tbl, err := h.pageFaultTable("determinism", ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	serial := run(1)
+	parallel := run(8)
+	if s, p := serial.CSV(), parallel.CSV(); s != p {
+		t.Errorf("CSV differs between -workers 1 and -workers 8:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+	for _, s := range Strategies() {
+		a, b := serial.Get(GeoMeanRow, s), parallel.Get(GeoMeanRow, s)
+		if a == nil || b == nil {
+			t.Fatalf("missing geomean for %s", s)
+		}
+		if a.Factor != b.Factor {
+			t.Errorf("geomean %s: %v (serial) != %v (parallel)", s, a.Factor, b.Factor)
+		}
+	}
+}
+
+// TestConcurrentHarnessStress hammers one harness from many goroutines
+// (meaningful under -race): all callers must get the identical memoized
+// outcome, and singleflight must have run each measurement exactly once.
+func TestConcurrentHarnessStress(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	cfg.Workers = 4
+	h := NewHarness(cfg)
+	w, err := workloads.ByName("Sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 16
+	bases := make([]*BaselineOutcome, callers)
+	strats := make([]*StrategyOutcome, callers)
+	errs := make([]error, 2*callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bases[i], errs[2*i] = h.MeasureBaselineOutcome(w)
+			strats[i], errs[2*i+1] = h.MeasureStrategy(w, core.StrategyCU)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < callers; i++ {
+		if bases[i] != bases[0] {
+			t.Fatal("concurrent callers got distinct baseline outcomes")
+		}
+		if strats[i] != strats[0] {
+			t.Fatal("concurrent callers got distinct strategy outcomes")
+		}
+	}
+	// One baseline build + one strategy build — duplicates would mean the
+	// memoization raced.
+	if got := h.sched.buildTasks.Load(); got != 2 {
+		t.Errorf("executed %d build tasks, want 2", got)
+	}
+	if h.WorkDuration() <= 0 {
+		t.Error("WorkDuration not accounted")
+	}
+}
+
+// TestSingleflightCollapsesCalls exercises once() directly: overlapping
+// callers of one key share a single execution and its error.
+func TestSingleflightCollapsesCalls(t *testing.T) {
+	h := NewHarness(DefaultConfig())
+	var calls int
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	failure := errors.New("boom")
+
+	go func() {
+		h.once("k", func() error {
+			calls++
+			close(entered)
+			<-release
+			return failure
+		})
+	}()
+	<-entered
+
+	const waiters = 8
+	errs := make([]error, waiters)
+	var wg, ready sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ready.Done()
+			errs[i] = h.once("k", func() error {
+				t.Error("duplicate execution while key in flight")
+				return nil
+			})
+		}(i)
+	}
+	// The key stays in flight until release; give the waiters time to block
+	// on it before letting the first caller finish.
+	ready.Wait()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != failure {
+			t.Errorf("waiter %d got %v, want shared error", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	// After completion the key is retryable (failures are not cached).
+	if err := h.once("k", func() error { return nil }); err != nil {
+		t.Errorf("retry after failure: %v", err)
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	h := NewHarness(cfg)
+	for trial := 0; trial < 10; trial++ {
+		err := h.forEach(8, func(i int) error {
+			if i == 3 || i == 6 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("trial %d: err = %v, want deterministic lowest-index error", trial, err)
+		}
+	}
+}
+
+// TestAccessedFractionGuard covers the NaN regression: an image with an
+// empty snapshot must yield 0, not 0/0, so the measures stay marshalable.
+func TestAccessedFractionGuard(t *testing.T) {
+	if got := accessedFraction(0, 0); got != 0 {
+		t.Errorf("accessedFraction(0,0) = %v", got)
+	}
+	if got := accessedFraction(5, 0); got != 0 {
+		t.Errorf("accessedFraction(5,0) = %v", got)
+	}
+	if got := accessedFraction(1, 4); got != 0.25 {
+		t.Errorf("accessedFraction(1,4) = %v", got)
+	}
+	m := RunMeasure{AccessedFrac: accessedFraction(3, 0)}
+	if _, err := json.Marshal(m); err != nil {
+		t.Errorf("measure with guarded fraction must marshal: %v", err)
+	}
+}

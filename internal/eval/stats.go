@@ -65,10 +65,16 @@ func GeoMean(xs []float64) float64 {
 }
 
 // RatioCI propagates the uncertainty of a ratio a/b from the CIs of its
-// numerator and denominator (first-order delta method).
+// numerator and denominator (first-order delta method). Degenerate cases
+// are explicit rather than silently 0: a zero denominator yields NaN (the
+// ratio itself is not measurable), and a zero numerator whose measurements
+// still have spread yields the first-order absolute uncertainty aCI/|b|.
 func RatioCI(a, aCI, b, bCI float64) float64 {
-	if a == 0 || b == 0 {
-		return 0
+	if b == 0 {
+		return math.NaN()
+	}
+	if a == 0 {
+		return math.Abs(aCI / b)
 	}
 	r := a / b
 	return math.Abs(r) * math.Sqrt((aCI/a)*(aCI/a)+(bCI/b)*(bCI/b))
@@ -85,6 +91,11 @@ type Cell struct {
 	// BaselineMean / OptimizedMean are the underlying means.
 	BaselineMean  float64
 	OptimizedMean float64
+	// Degenerate marks cells whose factor is not measurable because the
+	// denominator mean is zero. Factor and CI are NaN (which renders as an
+	// explicit "NaN" column in CSV), and the cell is excluded from
+	// geomeans.
+	Degenerate bool
 }
 
 // Table is the data behind one figure.
@@ -125,15 +136,25 @@ const GeoMeanRow = "geomean"
 
 // AddGeoMean appends per-strategy geometric-mean cells across workloads
 // (the paper reports the geomean after the AWFY benchmarks, Sec. 7.1).
+// Degenerate cells are excluded; a column with no measurable cells yields
+// a degenerate geomean cell.
 func (t *Table) AddGeoMean() {
 	for _, s := range t.Strategies {
 		var fs []float64
 		for _, c := range t.Cells {
-			if c.Strategy == s && c.Workload != GeoMeanRow {
+			if c.Strategy == s && c.Workload != GeoMeanRow && !c.Degenerate {
 				fs = append(fs, c.Factor)
 			}
 		}
-		t.Cells = append(t.Cells, Cell{Workload: GeoMeanRow, Strategy: s, Factor: GeoMean(fs)})
+		cell := Cell{Workload: GeoMeanRow, Strategy: s}
+		if len(fs) == 0 {
+			cell.Degenerate = true
+			cell.Factor = math.NaN()
+			cell.CI = math.NaN()
+		} else {
+			cell.Factor = GeoMean(fs)
+		}
+		t.Cells = append(t.Cells, cell)
 	}
 }
 
@@ -176,6 +197,10 @@ func (t *Table) Render() string {
 		for _, s := range t.Strategies {
 			c := t.Get(w, s)
 			if c == nil {
+				continue
+			}
+			if c.Degenerate {
+				fmt.Fprintf(&sb, "  %-16s %-*s n/a (zero mean)\n", s, width, "")
 				continue
 			}
 			n := int(c.Factor / maxF * width)

@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 )
 
 // Field describes an instance or static field of a class.
@@ -54,7 +55,10 @@ type Method struct {
 	// image build time and populate the initial heap (Sec. 2).
 	Clinit bool
 
-	size int // cached code-size estimate
+	// size caches the code-size estimate. Atomic because concurrent image
+	// builds of the same program (the eval scheduler) race to fill it; all
+	// writers compute the same value, so any winner is correct.
+	size atomic.Int64
 }
 
 // Signature renders the globally unique method signature,
@@ -67,23 +71,24 @@ func (m *Method) Signature() string {
 // CodeSize returns the estimated compiled size of the method body in bytes,
 // excluding inlinees. The estimate drives the size-driven inliner.
 func (m *Method) CodeSize() int {
-	if m.size == 0 {
-		const prologue = 16
-		s := prologue
-		for _, b := range m.Blocks {
-			for i := range b.Instrs {
-				s += b.Instrs[i].CodeSize()
-			}
-			s += b.Term.CodeSize()
-		}
-		m.size = s
+	if s := m.size.Load(); s != 0 {
+		return int(s)
 	}
-	return m.size
+	const prologue = 16
+	s := prologue
+	for _, b := range m.Blocks {
+		for i := range b.Instrs {
+			s += b.Instrs[i].CodeSize()
+		}
+		s += b.Term.CodeSize()
+	}
+	m.size.Store(int64(s))
+	return s
 }
 
 // InvalidateSizeCache discards the cached code-size estimate; callers that
 // mutate blocks after resolution (e.g. instrumentation) must invalidate.
-func (m *Method) InvalidateSizeCache() { m.size = 0 }
+func (m *Method) InvalidateSizeCache() { m.size.Store(0) }
 
 // Class is a class definition. Single inheritance; subclasses may override
 // methods by redefining the same name.

@@ -1,0 +1,111 @@
+package obs
+
+import "sort"
+
+// MergeSnapshots combines snapshots — e.g. the per-build registries of one
+// evaluation outcome — into a single aggregate snapshot. The merge is
+// deterministic in argument order and independent of where the snapshots
+// were produced: counters add, gauges keep the last value in argument
+// order, histograms add bucket counts (snapshots with differing bucket
+// bounds keep the first layout and still accumulate Count and Sum), and
+// spans and timeline events are concatenated with their sequence numbers
+// rebased so the events of later snapshots order after earlier ones. Nil
+// snapshots are skipped; the result is sorted exactly like
+// Registry.Snapshot.
+func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{Schema: SchemaVersion}
+	counters := make(map[string]int64)
+	gauges := make(map[string]float64)
+	hists := make(map[string]*HistogramPoint)
+	timelines := make(map[string]*TimelinePoint)
+	var seqBase int64
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[g.Name] = g.Value
+		}
+		for _, h := range s.Histograms {
+			m := hists[h.Name]
+			if m == nil {
+				hists[h.Name] = &HistogramPoint{
+					Name:   h.Name,
+					Bounds: append([]float64(nil), h.Bounds...),
+					Counts: append([]int64(nil), h.Counts...),
+					Count:  h.Count,
+					Sum:    h.Sum,
+				}
+				continue
+			}
+			m.Count += h.Count
+			m.Sum += h.Sum
+			if len(m.Counts) == len(h.Counts) && equalBounds(m.Bounds, h.Bounds) {
+				for i, c := range h.Counts {
+					m.Counts[i] += c
+				}
+			}
+		}
+		// Rebase this snapshot's sequence numbers past everything merged so
+		// far, preserving both its internal order and the argument order.
+		var maxSeq int64
+		for _, sp := range s.Spans {
+			out.Spans = append(out.Spans, SpanPoint{
+				Seq: seqBase + sp.Seq, Name: sp.Name, DurationNanos: sp.DurationNanos,
+			})
+			if sp.Seq > maxSeq {
+				maxSeq = sp.Seq
+			}
+		}
+		for _, tl := range s.Timelines {
+			m := timelines[tl.Name]
+			if m == nil {
+				m = &TimelinePoint{Name: tl.Name, Fields: append([]string(nil), tl.Fields...)}
+				timelines[tl.Name] = m
+			}
+			for _, ev := range tl.Events {
+				m.Events = append(m.Events, TimelineEvent{
+					Seq: seqBase + ev.Seq, Label: ev.Label,
+					Values: append([]int64(nil), ev.Values...),
+				})
+				if ev.Seq > maxSeq {
+					maxSeq = ev.Seq
+				}
+			}
+		}
+		seqBase += maxSeq
+	}
+	for name, v := range counters {
+		out.Counters = append(out.Counters, CounterPoint{Name: name, Value: v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, GaugePoint{Name: name, Value: v})
+	}
+	for _, h := range hists {
+		out.Histograms = append(out.Histograms, *h)
+	}
+	for _, tl := range timelines {
+		out.Timelines = append(out.Timelines, *tl)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].Seq < out.Spans[j].Seq })
+	sort.Slice(out.Timelines, func(i, j int) bool { return out.Timelines[i].Name < out.Timelines[j].Name })
+	return out
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	m := MergeSnapshots()
+	if m.Schema != SchemaVersion {
+		t.Errorf("schema = %q", m.Schema)
+	}
+	if len(m.Counters)+len(m.Gauges)+len(m.Histograms)+len(m.Spans)+len(m.Timelines) != 0 {
+		t.Errorf("empty merge not empty: %+v", m)
+	}
+	if m2 := MergeSnapshots(nil, nil); len(m2.Counters) != 0 {
+		t.Errorf("nil snapshots not skipped: %+v", m2)
+	}
+}
+
+func TestMergeSnapshotsScalars(t *testing.T) {
+	a := &Snapshot{
+		Counters: []CounterPoint{{Name: "c.shared", Value: 3}, {Name: "c.only_a", Value: 1}},
+		Gauges:   []GaugePoint{{Name: "g", Value: 1.5}},
+	}
+	b := &Snapshot{
+		Counters: []CounterPoint{{Name: "c.shared", Value: 4}},
+		Gauges:   []GaugePoint{{Name: "g", Value: 2.5}, {Name: "g.only_b", Value: 9}},
+	}
+	m := MergeSnapshots(a, nil, b)
+	if got := m.Counter("c.shared"); got != 7 {
+		t.Errorf("shared counter = %d, want 7", got)
+	}
+	if got := m.Counter("c.only_a"); got != 1 {
+		t.Errorf("only_a = %d", got)
+	}
+	// Gauges keep the last value in argument order.
+	if got := m.Gauge("g"); got != 2.5 {
+		t.Errorf("gauge = %v, want last-wins 2.5", got)
+	}
+	if got := m.Gauge("g.only_b"); got != 9 {
+		t.Errorf("only_b gauge = %v", got)
+	}
+	// Output is name-sorted like Registry.Snapshot.
+	if m.Counters[0].Name != "c.only_a" || m.Counters[1].Name != "c.shared" {
+		t.Errorf("counters unsorted: %+v", m.Counters)
+	}
+}
+
+func TestMergeSnapshotsHistograms(t *testing.T) {
+	bounds := []float64{1, 10}
+	a := &Snapshot{Histograms: []HistogramPoint{
+		{Name: "h", Bounds: bounds, Counts: []int64{1, 2, 3}, Count: 6, Sum: 30},
+	}}
+	b := &Snapshot{Histograms: []HistogramPoint{
+		{Name: "h", Bounds: bounds, Counts: []int64{4, 0, 1}, Count: 5, Sum: 12},
+	}}
+	m := MergeSnapshots(a, b)
+	h := m.Histograms[0]
+	if !reflect.DeepEqual(h.Counts, []int64{5, 2, 4}) || h.Count != 11 || h.Sum != 42 {
+		t.Errorf("merged histogram: %+v", h)
+	}
+
+	// Mismatched bounds: first layout kept, totals still accumulate.
+	c := &Snapshot{Histograms: []HistogramPoint{
+		{Name: "h", Bounds: []float64{5}, Counts: []int64{7, 7}, Count: 14, Sum: 100},
+	}}
+	m = MergeSnapshots(a, c)
+	h = m.Histograms[0]
+	if !reflect.DeepEqual(h.Bounds, bounds) || !reflect.DeepEqual(h.Counts, []int64{1, 2, 3}) {
+		t.Errorf("mismatched bounds must keep first layout: %+v", h)
+	}
+	if h.Count != 20 || h.Sum != 130 {
+		t.Errorf("totals must accumulate despite bound mismatch: %+v", h)
+	}
+}
+
+func TestMergeSnapshotsSequenceRebasing(t *testing.T) {
+	a := &Snapshot{
+		Spans: []SpanPoint{{Seq: 1, Name: "build"}, {Seq: 3, Name: "link"}},
+		Timelines: []TimelinePoint{{
+			Name: "faults", Fields: []string{"page"},
+			Events: []TimelineEvent{{Seq: 2, Label: "text", Values: []int64{7}}},
+		}},
+	}
+	b := &Snapshot{
+		Spans: []SpanPoint{{Seq: 1, Name: "build2"}},
+		Timelines: []TimelinePoint{{
+			Name: "faults", Fields: []string{"page"},
+			Events: []TimelineEvent{{Seq: 2, Label: "heap", Values: []int64{9}}},
+		}},
+	}
+	m := MergeSnapshots(a, b)
+	// b's events are rebased past a's max seq (3): order a then b.
+	wantSpans := []SpanPoint{{Seq: 1, Name: "build"}, {Seq: 3, Name: "link"}, {Seq: 4, Name: "build2"}}
+	if !reflect.DeepEqual(m.Spans, wantSpans) {
+		t.Errorf("spans = %+v, want %+v", m.Spans, wantSpans)
+	}
+	tl := m.Timeline("faults")
+	if tl == nil || len(tl.Events) != 2 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if tl.Events[0].Label != "text" || tl.Events[0].Seq != 2 {
+		t.Errorf("first event: %+v", tl.Events[0])
+	}
+	if tl.Events[1].Label != "heap" || tl.Events[1].Seq != 5 {
+		t.Errorf("rebased event: %+v", tl.Events[1])
+	}
+}
+
+// Merging real registry snapshots must be deterministic in argument order.
+func TestMergeSnapshotsRegistries(t *testing.T) {
+	snap := func(n int64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("work").Add(n)
+		r.Gauge("last").Set(float64(n))
+		sp := r.StartSpan("stage")
+		sp.End()
+		return r.Snapshot()
+	}
+	a, b := snap(1), snap(2)
+	m1 := MergeSnapshots(a, b)
+	m2 := MergeSnapshots(a, b)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Error("merge not deterministic")
+	}
+	if m1.Counter("work") != 3 || m1.Gauge("last") != 2 {
+		t.Errorf("merged registry values: %+v", m1)
+	}
+	if len(m1.Spans) != 2 {
+		t.Errorf("spans = %+v", m1.Spans)
+	}
+}

@@ -196,6 +196,22 @@ func (t *Tracer) appendWords(ts *threadState, words ...uint64) {
 		if len(ts.buf)+len(words) > t.bufCap() {
 			t.flush(ts)
 		}
+		if len(words) > t.bufCap() {
+			// Oversized record: the real fixed-size buffer could never hold
+			// it, so it must not grow the buffer past its stated capacity.
+			// Emit it straight to the trace file as its own flush (the
+			// runtime equivalent of a writev bypassing the buffer); the
+			// record stays durable-on-flush like any other dumped words.
+			n := int64(len(words))
+			t.charge(n * costFlushPerWord)
+			if t.obsOn() {
+				t.cFlushes.Inc()
+				t.cWords.Add(n)
+				t.hFlush.Observe(float64(n))
+			}
+			ts.flushd = append(ts.flushd, words...)
+			return
+		}
 		ts.buf = append(ts.buf, words...)
 	}
 }

@@ -1,0 +1,74 @@
+package profiler
+
+import (
+	"reflect"
+	"testing"
+
+	"nimage/internal/graal"
+	"nimage/internal/obs"
+)
+
+// TestAppendWordsOversizedRecord covers the dump-on-full overflow: a record
+// larger than the buffer capacity must never grow the buffer past its
+// stated size (the real runtime buffer is fixed) — it is emitted as its own
+// flush, preserving word order and durability accounting.
+func TestAppendWordsOversizedRecord(t *testing.T) {
+	tr := NewTracer(graal.InstrHeap, DumpOnFull)
+	tr.BufferWords = 4
+	tr.Obs = obs.NewRegistry()
+	var cycles int64
+	tr.AddCycles = func(c int64) { cycles += c }
+	ts := tr.state(1)
+
+	// Partially fill the buffer, then append a record that cannot fit even
+	// in an empty buffer (7 > 4 words).
+	tr.appendWords(ts, 1, 2)
+	oversized := []uint64{10, 11, 12, 13, 14, 15, 16}
+	tr.appendWords(ts, oversized...)
+	if len(ts.buf) > tr.bufCap() {
+		t.Fatalf("buffer grew to %d words past capacity %d", len(ts.buf), tr.bufCap())
+	}
+	// Both the pending words and the oversized record are already durable.
+	want := []uint64{1, 2, 10, 11, 12, 13, 14, 15, 16}
+	if !reflect.DeepEqual(ts.flushd, want) {
+		t.Fatalf("flushed words = %v, want %v", ts.flushd, want)
+	}
+
+	// A later normal record still buffers and survives Finish in order.
+	tr.appendWords(ts, 20, 21)
+	traces := tr.Finish(false)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	want = append(want, 20, 21)
+	if !reflect.DeepEqual(traces[0].Words, want) {
+		t.Fatalf("final trace = %v, want %v", traces[0].Words, want)
+	}
+
+	snap := tr.Obs.Snapshot()
+	// Two flushes: the pre-flush of the pending words and the oversized
+	// emit; the final Finish flush is the third.
+	if got := snap.Counter("profiler.flushes"); got != 3 {
+		t.Errorf("flushes = %d, want 3", got)
+	}
+	if got := snap.Counter("profiler.words_flushed"); got != int64(len(want)) {
+		t.Errorf("words_flushed = %d, want %d", got, len(want))
+	}
+	if cycles <= 0 {
+		t.Error("flush cost not charged")
+	}
+}
+
+// TestAppendWordsOversizedKilled: words of an oversized record are durable
+// even when the process is killed before any regular flush.
+func TestAppendWordsOversizedKilled(t *testing.T) {
+	tr := NewTracer(graal.InstrHeap, DumpOnFull)
+	tr.BufferWords = 2
+	ts := tr.state(7)
+	tr.appendWords(ts, 1, 2, 3) // oversized for cap 2
+	tr.appendWords(ts, 9)       // buffered, will be lost
+	traces := tr.Finish(true)
+	if want := []uint64{1, 2, 3}; !reflect.DeepEqual(traces[0].Words, want) {
+		t.Fatalf("killed trace = %v, want durable oversized record %v", traces[0].Words, want)
+	}
+}
