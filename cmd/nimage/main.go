@@ -9,7 +9,9 @@
 //	nimage run     -workload Bounce [-strategy cu] [-device ssd|nfs] [-iters N] [-report out.json]
 //	nimage profile -workload Bounce -strategy "heap path" [-out profile.csv] [-trace trace.bin]
 //	nimage order   -workload Bounce [-seed N]
-//	nimage report  -workloads Bounce,micronaut [-strategies "cu,heap path"] [-o report.json]
+//	nimage report  -workloads Bounce,micronaut [-strategies "cu,heap path"] [-o report.json] [-artifacts dir]
+//	nimage faults  -workload Bounce [-strategy cu] [-top 20] [-o attrib.json] [-pprof p.pb.gz] [-trace t.json]
+//	nimage faults  -diff baseline.json optimized.json
 //	nimage viz     -workload Bounce [-section text|heap] [-ppm out.ppm]
 //	nimage export  -workload Towers -strategy "cu+heap path" -o towers.nimg
 //	nimage exec    -image towers.nimg [-report out.json]
@@ -42,6 +44,8 @@ func main() {
 		err = cmdOrder(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "faults":
+		err = cmdFaults(os.Args[2:])
 	case "viz":
 		err = cmdViz(os.Args[2:])
 	case "export":
@@ -71,6 +75,7 @@ commands:
   profile   run the profile-guided pipeline, write ordering profiles
   order     print the per-strategy object match breakdown across builds
   report    run an observed evaluation, write a consolidated report.json
+  faults    attribute cold-start page faults to symbols; -diff compares two runs
   viz       render the Fig. 6 page-fault grid (-section text|heap)
   export    build an image and write its portable .nimg recipe
   exec      bake a .nimg recipe and run it cold

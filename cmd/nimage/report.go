@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"nimage"
 	"nimage/internal/eval"
 	"nimage/internal/obs"
+	"nimage/internal/obs/attrib"
 	"nimage/internal/workloads"
 )
 
@@ -34,6 +36,7 @@ func cmdReport(args []string) error {
 	iters := fs.Int("iters", 1, "cold iterations per image")
 	workers := fs.Int("workers", 0, "concurrent build+measure tasks (0 = GOMAXPROCS; results are identical for every count)")
 	out := fs.String("o", "report.json", "output JSON path")
+	artifacts := fs.String("artifacts", "", "also write per-entry attribution artifacts (attrib JSON, pprof, Chrome trace) into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,8 +81,49 @@ func cmdReport(args []string) error {
 
 	fmt.Printf("wrote %s (%d entries, device %s, %d builds x %d iterations)\n",
 		*out, len(rep.Entries), rep.Device, rep.Builds, rep.Iterations)
+	if *artifacts != "" {
+		if err := writeArtifacts(*artifacts, rep); err != nil {
+			return err
+		}
+	}
 	for _, e := range rep.Entries {
 		printEntrySummary(e)
+	}
+	return nil
+}
+
+// writeArtifacts exports each entry's merged attribution as the three
+// artifact formats: the table JSON (the `nimage faults -diff` input), a
+// pprof profile, and a Chrome trace built from the entry's first cold-run
+// snapshot.
+func writeArtifacts(dir string, rep *eval.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range rep.Entries {
+		if e.Attribution == nil {
+			continue
+		}
+		layout := e.Strategy
+		if layout == "" {
+			layout = eval.LayoutBaseline
+		}
+		stem := filepath.Join(dir, e.Workload+"-"+strings.ReplaceAll(layout, " ", "_"))
+		tab := e.Attribution
+		if err := writeWith(stem+".attrib.json", func(f *os.File) error { return attrib.WriteTable(f, tab) }); err != nil {
+			return err
+		}
+		if err := writeWith(stem+".pb.gz", func(f *os.File) error { return attrib.WritePprof(f, tab) }); err != nil {
+			return err
+		}
+		var snap *obs.Snapshot
+		if len(e.Runs) > 0 {
+			snap = e.Runs[0]
+		}
+		if err := writeWith(stem+".trace.json", func(f *os.File) error { return attrib.WriteChromeTrace(f, snap, tab) }); err != nil {
+			return err
+		}
+		fmt.Printf("wrote attribution artifacts %s.{attrib.json,pb.gz,trace.json}\n", stem)
 	}
 	return nil
 }

@@ -53,8 +53,11 @@ func main() {
 		optimized.HeapMatchStats.MatchedObjects)
 
 	// 4. Measure a cold start of each: fresh OS page cache, SSD latency.
-	coldRun := func(img *nimage.Image) nimage.RunStats {
+	// AttributeFaults additionally resolves every fault to the CUs and
+	// heap objects on the faulted page (see 'nimage faults').
+	coldRun := func(img *nimage.Image, layout string) (nimage.RunStats, *nimage.AttribTable) {
 		o := nimage.NewOS(nimage.SSD())
+		o.AttributeFaults = true
 		proc, err := img.NewProcess(o, nimage.Hooks{})
 		if err != nil {
 			log.Fatal(err)
@@ -63,10 +66,12 @@ func main() {
 		if err := proc.Run(w.Args...); err != nil {
 			log.Fatal(err)
 		}
-		return proc.Stats()
+		tab := proc.AttributionTable()
+		tab.Layout = layout
+		return proc.Stats(), tab
 	}
-	base := coldRun(regular)
-	opt := coldRun(optimized)
+	base, baseTab := coldRun(regular, "identity")
+	opt, optTab := coldRun(optimized, "cu+heap path")
 
 	fmt.Printf("%-22s %12s %12s\n", "cold start", "regular", "cu+heap path")
 	fmt.Printf("%-22s %12d %12d\n", ".text page faults", base.TextFaults.Total(), opt.TextFaults.Total())
@@ -77,4 +82,10 @@ func main() {
 		float64(base.TextFaults.Total()+base.HeapFaults.Total())/
 			float64(opt.TextFaults.Total()+opt.HeapFaults.Total()),
 		float64(base.Total)/float64(opt.Total))
+
+	// 5. Attribute the difference: which symbols' cold faults the
+	// reordering eliminated, which survived, and which are new
+	// (the `nimage faults -diff` workflow).
+	fmt.Println()
+	fmt.Print(nimage.FaultDiffText(nimage.DiffAttribTables(baseTab, optTab), 3))
 }

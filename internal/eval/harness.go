@@ -10,6 +10,7 @@ import (
 	"nimage/internal/image"
 	"nimage/internal/ir"
 	"nimage/internal/obs"
+	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
 	"nimage/internal/vm"
@@ -70,6 +71,9 @@ func Strategies() []string {
 	}
 }
 
+// LayoutBaseline is the attribution layout label of unmodified images.
+const LayoutBaseline = "identity"
+
 // RunMeasure is one benchmark iteration's measurements.
 type RunMeasure struct {
 	TextFaults float64 `json:"text_faults"`
@@ -88,6 +92,9 @@ type RunMeasure struct {
 	// fault timelines, instruction mix, run totals); nil unless the harness
 	// runs with Config.Observe.
 	Report *obs.Snapshot `json:"report,omitempty"`
+	// Attrib is the per-symbol fault attribution of this iteration; nil
+	// unless the harness runs with Config.Observe.
+	Attrib *attrib.Table `json:"attrib,omitempty"`
 }
 
 // RunReport is the structured observability record attached to a measured
@@ -156,8 +163,10 @@ func (h *Harness) newOS() *osim.OS {
 }
 
 // measureImage runs one image for the configured iterations (cold cache
-// each time) and returns the per-iteration measurements.
-func (h *Harness) measureImage(img *image.Image, w workloads.Workload) ([]RunMeasure, error) {
+// each time) and returns the per-iteration measurements. layout labels the
+// attribution tables ("identity" for baselines, the strategy name
+// otherwise).
+func (h *Harness) measureImage(img *image.Image, w workloads.Workload, layout string) ([]RunMeasure, error) {
 	o := h.newOS()
 	out := make([]RunMeasure, 0, h.Cfg.Iterations)
 	for it := 0; it < h.Cfg.Iterations; it++ {
@@ -191,6 +200,10 @@ func (h *Harness) measureImage(img *image.Image, w workloads.Workload) ([]RunMea
 			m.Time = st.TimeToResponse.Seconds()
 		} else {
 			m.Time = st.Total.Seconds()
+		}
+		if tab := proc.AttributionTable(); tab != nil {
+			tab.Layout = layout
+			m.Attrib = tab
 		}
 		proc.Close()
 		if o.Obs != nil {
@@ -298,7 +311,7 @@ func (h *Harness) measureBaseline(w workloads.Workload) (*BaselineOutcome, error
 		if err != nil {
 			return fmt.Errorf("eval: baseline build of %s: %w", w.Name, err)
 		}
-		ms, err := h.measureImage(img, w)
+		ms, err := h.measureImage(img, w, LayoutBaseline)
 		if err != nil {
 			return err
 		}
@@ -421,7 +434,7 @@ func (h *Harness) measureStrategy(w workloads.Workload, strategy string) (*Strat
 		if err != nil {
 			return fmt.Errorf("eval: %s/%s: %w", w.Name, strategy, err)
 		}
-		ms, err := h.measureImage(res.Optimized, w)
+		ms, err := h.measureImage(res.Optimized, w, strategy)
 		if err != nil {
 			return err
 		}

@@ -9,11 +9,14 @@ import (
 
 	"nimage/internal/core"
 	"nimage/internal/obs"
+	"nimage/internal/obs/attrib"
 	"nimage/internal/workloads"
 )
 
-// ReportSchema versions the consolidated run-report document.
-const ReportSchema = "nimage.report/v1"
+// ReportSchema versions the consolidated run-report document. v2 adds the
+// per-entry fault attribution table (merged over all builds × iterations)
+// and the per-measure attribution tables inside Runs.
+const ReportSchema = "nimage.report/v2"
 
 // Report is the consolidated observability document the evaluation emits:
 // per workload and strategy, the build-pipeline snapshots (stage spans,
@@ -47,9 +50,14 @@ type ReportEntry struct {
 	Pipeline []*obs.Snapshot `json:"pipeline,omitempty"`
 	// Runs holds one snapshot per cold-cache benchmark iteration.
 	Runs []*obs.Snapshot `json:"runs,omitempty"`
-	// Measures are the scalar per-iteration measurements (with Report
-	// stripped — the same snapshots live in Runs).
+	// Measures are the scalar per-iteration measurements (with Report and
+	// Attrib stripped — the snapshots live in Runs, the attribution merged
+	// in Attribution).
 	Measures []RunMeasure `json:"measures"`
+	// Attribution is the per-symbol fault attribution merged over every
+	// build and iteration of the entry (schema nimage.attrib/v1); nil
+	// unless the harness observes.
+	Attribution *attrib.Table `json:"attribution,omitempty"`
 	// HeapMatch is the object match breakdown of the last optimized build;
 	// nil for the baseline and for pure code strategies.
 	HeapMatch *core.MatchBreakdown `json:"heap_match,omitempty"`
@@ -84,11 +92,12 @@ func (h *Harness) Report(ws []workloads.Workload, strategies []string) (*Report,
 			return nil, err
 		}
 		rep.Entries = append(rep.Entries, ReportEntry{
-			Workload: w.Name,
-			Service:  w.Service,
-			Pipeline: base.Pipeline,
-			Runs:     stripReports(base.Measures),
-			Measures: scalarMeasures(base.Measures),
+			Workload:    w.Name,
+			Service:     w.Service,
+			Pipeline:    base.Pipeline,
+			Runs:        stripReports(base.Measures),
+			Measures:    scalarMeasures(base.Measures),
+			Attribution: mergedAttribution(base.Measures),
 		})
 		for _, s := range strategies {
 			out, err := h.MeasureStrategy(w, s)
@@ -96,12 +105,13 @@ func (h *Harness) Report(ws []workloads.Workload, strategies []string) (*Report,
 				return nil, err
 			}
 			e := ReportEntry{
-				Workload: w.Name,
-				Service:  w.Service,
-				Strategy: s,
-				Pipeline: out.Pipeline,
-				Runs:     stripReports(out.Measures),
-				Measures: scalarMeasures(out.Measures),
+				Workload:    w.Name,
+				Service:     w.Service,
+				Strategy:    s,
+				Pipeline:    out.Pipeline,
+				Runs:        stripReports(out.Measures),
+				Measures:    scalarMeasures(out.Measures),
+				Attribution: mergedAttribution(out.Measures),
 			}
 			if out.HeapMatch.Strategy != "" {
 				hm := out.HeapMatch
@@ -124,15 +134,32 @@ func stripReports(ms []RunMeasure) []*obs.Snapshot {
 	return out
 }
 
-// scalarMeasures copies the measures without their snapshots (which the
-// entry carries once, in Runs).
+// scalarMeasures copies the measures without their snapshots and
+// attribution tables (the entry carries those once, in Runs and
+// Attribution).
 func scalarMeasures(ms []RunMeasure) []RunMeasure {
 	out := make([]RunMeasure, len(ms))
 	copy(out, ms)
 	for i := range out {
 		out[i].Report = nil
+		out[i].Attrib = nil
 	}
 	return out
+}
+
+// mergedAttribution folds the per-iteration attribution tables of the
+// measures into one table (nil when the harness ran detached).
+func mergedAttribution(ms []RunMeasure) *attrib.Table {
+	var tabs []*attrib.Table
+	for _, m := range ms {
+		if m.Attrib != nil {
+			tabs = append(tabs, m.Attrib)
+		}
+	}
+	if len(tabs) == 0 {
+		return nil
+	}
+	return attrib.Merge(tabs...)
 }
 
 // WriteJSON writes the report as an indented JSON document.

@@ -79,6 +79,29 @@ func TestReportObserved(t *testing.T) {
 		if e.Measures[0].Report != nil {
 			t.Errorf("%s/%s: scalar measures still embed the snapshot", e.Workload, e.Strategy)
 		}
+		if e.Measures[0].Attrib != nil {
+			t.Errorf("%s/%s: scalar measures still embed the attribution table", e.Workload, e.Strategy)
+		}
+		// v2: every entry carries the merged fault attribution, labeled with
+		// its layout, and its section totals reconcile with the timeline.
+		if e.Attribution == nil {
+			t.Fatalf("%s/%s: missing attribution table", e.Workload, e.Strategy)
+		}
+		if len(e.Attribution.Symbols) == 0 || e.Attribution.TotalFaults() == 0 {
+			t.Errorf("%s/%s: empty attribution table", e.Workload, e.Strategy)
+		}
+		wantLayout := e.Strategy
+		if wantLayout == "" {
+			wantLayout = LayoutBaseline
+		}
+		if e.Attribution.Layout != wantLayout {
+			t.Errorf("%s/%s: attribution layout = %q, want %q",
+				e.Workload, e.Strategy, e.Attribution.Layout, wantLayout)
+		}
+		if int64(len(tl.Events)) != e.Attribution.TotalFaults() {
+			t.Errorf("%s/%s: %d timeline events vs %d attributed faults",
+				e.Workload, e.Strategy, len(tl.Events), e.Attribution.TotalFaults())
+		}
 		switch e.Strategy {
 		case "":
 			if e.HeapMatch != nil {
@@ -154,6 +177,9 @@ func TestHarnessDetachedHasNoReports(t *testing.T) {
 	for _, m := range base.Measures {
 		if m.Report != nil {
 			t.Error("detached harness attached a run report")
+		}
+		if m.Attrib != nil {
+			t.Error("detached harness attached an attribution table")
 		}
 	}
 }

@@ -1,0 +1,105 @@
+package image
+
+import (
+	"fmt"
+
+	"nimage/internal/heap"
+	"nimage/internal/obs/attrib"
+	"nimage/internal/osim"
+)
+
+// Attribution symbol names for the image regions that aren't CUs or
+// snapshot objects.
+const (
+	SymbolHeader = "<header>"
+	SymbolNative = "<native>"
+)
+
+// AttributionIndex returns (building and caching on first use) the
+// page-fault attribution index of the image: one symbol per byte range a
+// fault can be blamed on — the header page, every compiled CU, the native
+// code tail, and every snapshot object.
+//
+// Symbol names are chosen to be stable across builds and layouts so that
+// attribution tables from different images of the same program diff by
+// name: CUs use their root method's signature, class metadata objects use
+// "hub:Class" / "meta:Class", and every other object uses a per-type
+// ordinal ("Type#3") counted in snapshot encounter order — the order the
+// build's heap traversal discovered the objects, which the localized
+// build-seed perturbation keeps mostly stable (Sec. 7.2).
+func (img *Image) AttributionIndex() *attrib.Index {
+	if img.attrIndex != nil {
+		return img.attrIndex
+	}
+	syms := make([]attrib.Symbol, 0, len(img.CULayout)+len(img.ObjLayout)+2)
+	syms = append(syms, attrib.Symbol{
+		Name: SymbolHeader, Kind: attrib.KindHeader, Off: 0, Len: osim.PageSize,
+	})
+	for _, cu := range img.CULayout {
+		syms = append(syms, attrib.Symbol{
+			Name:    cu.Root.Signature(),
+			Type:    cu.Root.Class.Name,
+			Kind:    attrib.KindCU,
+			Section: SectionText,
+			Off:     img.CUOffset[cu],
+			Len:     int64(cu.Size),
+		})
+	}
+	if img.NativeLen > 0 {
+		syms = append(syms, attrib.Symbol{
+			Name: SymbolNative, Kind: attrib.KindNative, Section: SectionText,
+			Off: img.NativeOff, Len: img.NativeLen,
+		})
+	}
+	names := img.objectNames()
+	for _, o := range img.ObjLayout {
+		syms = append(syms, attrib.Symbol{
+			Name:    names[o],
+			Type:    o.TypeName(),
+			Kind:    attrib.KindObject,
+			Section: SectionHeap,
+			Off:     img.HeapSection.Off + o.Offset,
+			Len:     o.Size,
+		})
+	}
+	img.attrIndex = attrib.NewIndex(img.FileSize,
+		[]osim.Section{img.TextSection, img.HeapSection}, syms)
+	return img.attrIndex
+}
+
+// objectNames assigns every snapshot object its build-stable attribution
+// name. Ordinals are counted over img.Snapshot.Objects (encounter order),
+// not the layout order, so reordering the section does not rename objects.
+func (img *Image) objectNames() map[*heap.Object]string {
+	names := make(map[*heap.Object]string, len(img.Snapshot.Objects))
+	for c, hub := range img.Hubs {
+		names[hub] = "hub:" + c.Name
+	}
+	for c, meta := range img.MetaBlobs {
+		names[meta] = "meta:" + c.Name
+	}
+	ordinals := make(map[string]int)
+	for _, o := range img.Snapshot.Objects {
+		if _, ok := names[o]; ok {
+			continue
+		}
+		tn := o.TypeName()
+		names[o] = fmt.Sprintf("%s#%d", tn, ordinals[tn])
+		ordinals[tn]++
+	}
+	return names
+}
+
+// AttributionTable returns the per-symbol fault attribution of the
+// process's run, with fault-around waste folded in from the mapping's
+// final page states. Nil when the process was started without attribution
+// (no obs registry and OS.AttributeFaults unset).
+func (p *Process) AttributionTable() *attrib.Table {
+	if p.Attrib == nil {
+		return nil
+	}
+	p.Attrib.Finish(p.Mapping.PageClasses())
+	t := p.Attrib.Table()
+	t.Workload = p.Img.Program.Name
+	return t
+}

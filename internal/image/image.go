@@ -19,6 +19,7 @@ import (
 	"nimage/internal/ir"
 	"nimage/internal/murmur"
 	"nimage/internal/obs"
+	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
 	"nimage/internal/vm"
@@ -112,6 +113,11 @@ type Image struct {
 	// Hubs maps each reachable class to its metadata object in the heap.
 	Hubs map[*ir.Class]*heap.Object
 
+	// MetaBlobs maps each reachable class to its method-metadata blob —
+	// kept so fault attribution can name these objects stably across
+	// builds ("meta:Class") instead of by layout position.
+	MetaBlobs map[*ir.Class]*heap.Object
+
 	// StrategyIDs records, for instrumented builds, each identity
 	// strategy's ID of every snapshot object, indexed by SeqID.
 	StrategyIDs map[string][]uint64
@@ -134,7 +140,8 @@ type Image struct {
 	HeapSection osim.Section
 	FileSize    int64
 
-	files map[*osim.OS]*osim.File
+	files     map[*osim.OS]*osim.File
+	attrIndex *attrib.Index
 }
 
 // Build constructs an image of the program.
@@ -340,11 +347,13 @@ func (img *Image) snapshotHeap() error {
 	copy(classes, img.Comp.Reach.ClassOrder)
 	perturb(classes, img.Opts.BuildSeed+1)
 	img.Hubs = make(map[*ir.Class]*heap.Object, len(classes))
+	img.MetaBlobs = make(map[*ir.Class]*heap.Object, len(classes))
 	for _, c := range classes {
 		hub := heap.NewByteArray(64 + 16*len(c.AllFields) + 8*len(c.Methods))
 		img.Hubs[c] = hub
 		roots = append(roots, heap.RootRef{Obj: hub, Reason: heap.ReasonDataSection})
 		meta := heap.NewByteArray(metaBlobSize(c))
+		img.MetaBlobs[c] = meta
 		roots = append(roots, heap.RootRef{Obj: meta, Reason: heap.ReasonDataSection})
 		for _, f := range c.Statics {
 			v := img.Statics.Get(f)

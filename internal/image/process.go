@@ -9,6 +9,7 @@ import (
 	"nimage/internal/ir"
 	"nimage/internal/murmur"
 	"nimage/internal/obs"
+	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 	"nimage/internal/vm"
 )
@@ -37,6 +38,11 @@ type Process struct {
 	Img     *Image
 	Machine *vm.Machine
 	Mapping *osim.Mapping
+
+	// Attrib, when non-nil, is the per-fault attribution recorder observing
+	// the mapping (attached when the OS has an obs registry or sets
+	// AttributeFaults). Read results via AttributionTable.
+	Attrib *attrib.Recorder
 
 	// AccessedObjects counts distinct snapshot objects touched (Sec. 7.2
 	// reports that AWFY accesses ~4% of them).
@@ -70,6 +76,13 @@ func (img *Image) NewProcess(o *osim.OS, extra vm.Hooks) (*Process, error) {
 	m.EnableJournal()
 	m.Hooks = vm.ComposeHooks(p.hooks(), extra)
 	p.Machine = m
+
+	// Attach the fault-attribution recorder before the first touch below,
+	// so the header and native startup faults are attributed too.
+	if o.Obs.Enabled() || o.AttributeFaults {
+		p.Attrib = attrib.NewRecorder(img.AttributionIndex())
+		p.Mapping.Observer = p.Attrib
+	}
 
 	// Program startup maps the binary, reads the header page, and runs the
 	// native startup code (libc init, ELF entry): a fixed pseudo-random
@@ -183,6 +196,9 @@ func (p *Process) Close() {
 		return
 	}
 	p.closed = true
+	if p.Attrib != nil {
+		p.Attrib.Finish(p.Mapping.PageClasses())
+	}
 	if r := p.obs; r.Enabled() {
 		st := p.Stats()
 		r.Gauge("run.cpu_nanos").Set(float64(st.CPUTime.Nanoseconds()))

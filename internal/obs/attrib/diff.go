@@ -1,0 +1,101 @@
+package attrib
+
+import "sort"
+
+// Diff compares two attribution tables — typically an identity layout
+// against a profile-guided one — into the "why is this page still cold"
+// workflow: which symbols' faults the reordering eliminated, which
+// survived it, and which are new.
+
+// DiffEntry is one symbol's before/after fault record.
+type DiffEntry struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind,omitempty"`
+	Section string `json:"section,omitempty"`
+	// Baseline / Optimized are the fault counts in each table.
+	Baseline  int64 `json:"baseline"`
+	Optimized int64 `json:"optimized"`
+	// IODeltaNanos is optimized minus baseline attributed I/O time
+	// (negative = the reordering saved device time on this symbol).
+	IODeltaNanos int64 `json:"io_delta_nanos"`
+}
+
+// Delta returns optimized minus baseline faults.
+func (d DiffEntry) Delta() int64 { return d.Optimized - d.Baseline }
+
+// Diff is the symbol-level comparison of two tables.
+type Diff struct {
+	BaselineLayout  string `json:"baseline_layout,omitempty"`
+	OptimizedLayout string `json:"optimized_layout,omitempty"`
+	// Eliminated: faulted in the baseline, fault-free in the optimized
+	// layout (sorted by baseline faults desc).
+	Eliminated []DiffEntry `json:"eliminated"`
+	// Survived: faulted in both (sorted by optimized faults desc) — the
+	// residual cold set the next strategy iteration should look at.
+	Survived []DiffEntry `json:"survived"`
+	// New: fault-free in the baseline, faulting in the optimized layout
+	// (regressions; sorted by optimized faults desc).
+	New []DiffEntry `json:"new"`
+	// BaselineFaults / OptimizedFaults are the tables' per-section grand
+	// totals.
+	BaselineFaults  int64 `json:"baseline_faults"`
+	OptimizedFaults int64 `json:"optimized_faults"`
+}
+
+// DiffTables computes the symbol diff of two tables, keyed by symbol name.
+// Symbol names are chosen to be stable across builds (CU signatures,
+// per-type object ordinals in snapshot encounter order), so the same
+// logical symbol lines up on both sides even though its file offset moved.
+func DiffTables(baseline, optimized *Table) *Diff {
+	d := &Diff{
+		BaselineLayout:  baseline.Layout,
+		OptimizedLayout: optimized.Layout,
+		BaselineFaults:  baseline.TotalFaults(),
+		OptimizedFaults: optimized.TotalFaults(),
+	}
+	opt := make(map[string]SymbolFaults, len(optimized.Symbols))
+	for _, s := range optimized.Symbols {
+		opt[s.Name] = s
+	}
+	seen := make(map[string]bool, len(baseline.Symbols))
+	for _, b := range baseline.Symbols {
+		seen[b.Name] = true
+		o := opt[b.Name]
+		e := DiffEntry{
+			Name: b.Name, Kind: b.Kind, Section: b.Section,
+			Baseline: b.Faults, Optimized: o.Faults,
+			IODeltaNanos: o.IONanos - b.IONanos,
+		}
+		switch {
+		case b.Faults > 0 && o.Faults == 0:
+			d.Eliminated = append(d.Eliminated, e)
+		case b.Faults > 0 && o.Faults > 0:
+			d.Survived = append(d.Survived, e)
+		case b.Faults == 0 && o.Faults > 0:
+			d.New = append(d.New, e)
+		}
+	}
+	for _, o := range optimized.Symbols {
+		if seen[o.Name] || o.Faults == 0 {
+			continue
+		}
+		d.New = append(d.New, DiffEntry{
+			Name: o.Name, Kind: o.Kind, Section: o.Section,
+			Optimized: o.Faults, IODeltaNanos: o.IONanos,
+		})
+	}
+	sortDiff(d.Eliminated, func(e DiffEntry) int64 { return e.Baseline })
+	sortDiff(d.Survived, func(e DiffEntry) int64 { return e.Optimized })
+	sortDiff(d.New, func(e DiffEntry) int64 { return e.Optimized })
+	return d
+}
+
+func sortDiff(es []DiffEntry, key func(DiffEntry) int64) {
+	sort.SliceStable(es, func(i, j int) bool {
+		ka, kb := key(es[i]), key(es[j])
+		if ka != kb {
+			return ka > kb
+		}
+		return es[i].Name < es[j].Name
+	})
+}

@@ -1,0 +1,347 @@
+package attrib
+
+// Minimal pprof profile.proto reader for the subset WritePprof emits. It
+// exists so tests (and tooling) can decode an exported profile back into
+// symbol stacks and totals without depending on the pprof module.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// ProfValueType is a decoded sample type.
+type ProfValueType struct {
+	Type, Unit string
+}
+
+// ProfSample is a decoded sample: the resolved function-name stack
+// (leaf first) and the sample values.
+type ProfSample struct {
+	Stack  []string
+	Values []int64
+	// Labels holds string labels; NumLabels numeric ones.
+	Labels    map[string]string
+	NumLabels map[string]int64
+}
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	SampleTypes []ProfValueType
+	Samples     []ProfSample
+	Comments    []string
+}
+
+// ReadPprof decodes a (gzipped or raw) pprof protobuf profile.
+func ReadPprof(r io.Reader) (*Profile, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("attrib: pprof gzip: %w", err)
+		}
+		if raw, err = io.ReadAll(gz); err != nil {
+			return nil, fmt.Errorf("attrib: pprof gunzip: %w", err)
+		}
+	}
+	return parseProfile(raw)
+}
+
+// wire-format primitives
+
+type protoReader struct{ b []byte }
+
+func (p *protoReader) empty() bool { return len(p.b) == 0 }
+
+func (p *protoReader) varint() (uint64, error) {
+	var v uint64
+	for i := 0; i < len(p.b) && i < 10; i++ {
+		v |= uint64(p.b[i]&0x7f) << (7 * i)
+		if p.b[i] < 0x80 {
+			p.b = p.b[i+1:]
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("attrib: truncated varint")
+}
+
+// field reads the next (field number, wire type, payload). Varint fields
+// return the value in n; length-delimited fields return the bytes.
+func (p *protoReader) field() (num int, n uint64, body []byte, err error) {
+	tag, err := p.varint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	num = int(tag >> 3)
+	switch tag & 7 {
+	case 0:
+		n, err = p.varint()
+	case 1:
+		if len(p.b) < 8 {
+			return 0, 0, nil, fmt.Errorf("attrib: truncated fixed64")
+		}
+		p.b = p.b[8:]
+	case 2:
+		var ln uint64
+		if ln, err = p.varint(); err != nil {
+			return
+		}
+		if uint64(len(p.b)) < ln {
+			return 0, 0, nil, fmt.Errorf("attrib: truncated bytes field")
+		}
+		body, p.b = p.b[:ln], p.b[ln:]
+	case 5:
+		if len(p.b) < 4 {
+			return 0, 0, nil, fmt.Errorf("attrib: truncated fixed32")
+		}
+		p.b = p.b[4:]
+	default:
+		return 0, 0, nil, fmt.Errorf("attrib: unsupported wire type %d", tag&7)
+	}
+	return
+}
+
+// repeatedInts decodes a repeated varint field that may arrive packed
+// (body) or one-at-a-time (n).
+func repeatedInts(dst []int64, n uint64, body []byte) ([]int64, error) {
+	if body == nil {
+		return append(dst, int64(n)), nil
+	}
+	pr := &protoReader{b: body}
+	for !pr.empty() {
+		v, err := pr.varint()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, int64(v))
+	}
+	return dst, nil
+}
+
+type rawValueType struct{ typ, unit int64 }
+type rawLabel struct{ key, str, num int64 }
+type rawSample struct {
+	locs   []int64
+	values []int64
+	labels []rawLabel
+}
+type rawLocation struct {
+	id, fn int64 // first line's function
+}
+type rawFunction struct{ id, name int64 }
+
+func parseProfile(raw []byte) (*Profile, error) {
+	pr := &protoReader{b: raw}
+	var (
+		types    []rawValueType
+		samples  []rawSample
+		locs     []rawLocation
+		funcs    []rawFunction
+		strs     []string
+		comments []int64
+	)
+	for !pr.empty() {
+		num, n, body, err := pr.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1:
+			vt, err := parseValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			types = append(types, vt)
+		case 2:
+			s, err := parseSample(body)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4:
+			l, err := parseLocation(body)
+			if err != nil {
+				return nil, err
+			}
+			locs = append(locs, l)
+		case 5:
+			f, err := parseFunction(body)
+			if err != nil {
+				return nil, err
+			}
+			funcs = append(funcs, f)
+		case 6:
+			strs = append(strs, string(body))
+		case 13:
+			if comments, err = repeatedInts(comments, n, body); err != nil {
+				return nil, err
+			}
+		default:
+			_ = n // mapping, period: skipped
+		}
+	}
+	// Dangling string references are a hard error: `go tool pprof` rejects
+	// such profiles, so the golden tests must too.
+	var strErr error
+	str := func(i int64) string {
+		if i < 0 || i >= int64(len(strs)) {
+			strErr = fmt.Errorf("attrib: pprof string index %d out of range (table has %d entries)", i, len(strs))
+			return ""
+		}
+		return strs[i]
+	}
+	fnName := map[int64]string{}
+	for _, f := range funcs {
+		fnName[f.id] = str(f.name)
+	}
+	locName := map[int64]string{}
+	for _, l := range locs {
+		locName[l.id] = fnName[l.fn]
+	}
+	out := &Profile{}
+	for _, t := range types {
+		out.SampleTypes = append(out.SampleTypes, ProfValueType{Type: str(t.typ), Unit: str(t.unit)})
+	}
+	for _, s := range samples {
+		ps := ProfSample{
+			Values:    s.values,
+			Labels:    map[string]string{},
+			NumLabels: map[string]int64{},
+		}
+		for _, id := range s.locs {
+			ps.Stack = append(ps.Stack, locName[id])
+		}
+		for _, lb := range s.labels {
+			if lb.str != 0 {
+				ps.Labels[str(lb.key)] = str(lb.str)
+			} else {
+				ps.NumLabels[str(lb.key)] = lb.num
+			}
+		}
+		out.Samples = append(out.Samples, ps)
+	}
+	for _, c := range comments {
+		out.Comments = append(out.Comments, str(c))
+	}
+	if strErr != nil {
+		return nil, strErr
+	}
+	return out, nil
+}
+
+func parseValueType(body []byte) (rawValueType, error) {
+	var vt rawValueType
+	pr := &protoReader{b: body}
+	for !pr.empty() {
+		num, n, _, err := pr.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			vt.typ = int64(n)
+		case 2:
+			vt.unit = int64(n)
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(body []byte) (rawSample, error) {
+	var s rawSample
+	pr := &protoReader{b: body}
+	for !pr.empty() {
+		num, n, b, err := pr.field()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1:
+			if s.locs, err = repeatedInts(s.locs, n, b); err != nil {
+				return s, err
+			}
+		case 2:
+			if s.values, err = repeatedInts(s.values, n, b); err != nil {
+				return s, err
+			}
+		case 3:
+			lb, err := parseLabel(b)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, lb)
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(body []byte) (rawLabel, error) {
+	var lb rawLabel
+	pr := &protoReader{b: body}
+	for !pr.empty() {
+		num, n, _, err := pr.field()
+		if err != nil {
+			return lb, err
+		}
+		switch num {
+		case 1:
+			lb.key = int64(n)
+		case 2:
+			lb.str = int64(n)
+		case 3:
+			lb.num = int64(n)
+		}
+	}
+	return lb, nil
+}
+
+func parseLocation(body []byte) (rawLocation, error) {
+	var l rawLocation
+	pr := &protoReader{b: body}
+	for !pr.empty() {
+		num, n, b, err := pr.field()
+		if err != nil {
+			return l, err
+		}
+		switch num {
+		case 1:
+			l.id = int64(n)
+		case 4:
+			if l.fn == 0 {
+				lpr := &protoReader{b: b}
+				for !lpr.empty() {
+					lnum, ln, _, err := lpr.field()
+					if err != nil {
+						return l, err
+					}
+					if lnum == 1 {
+						l.fn = int64(ln)
+					}
+				}
+			}
+		}
+	}
+	return l, nil
+}
+
+func parseFunction(body []byte) (rawFunction, error) {
+	var f rawFunction
+	pr := &protoReader{b: body}
+	for !pr.empty() {
+		num, n, _, err := pr.field()
+		if err != nil {
+			return f, err
+		}
+		switch num {
+		case 1:
+			f.id = int64(n)
+		case 2:
+			f.name = int64(n)
+		}
+	}
+	return f, nil
+}

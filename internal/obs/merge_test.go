@@ -76,18 +76,22 @@ func TestMergeSnapshotsHistograms(t *testing.T) {
 }
 
 func TestMergeSnapshotsSequenceRebasing(t *testing.T) {
+	// Fixtures shaped like the osim.faults timeline: the trailing "section"
+	// column carries the section index, which must survive rebasing —
+	// sequence numbers shift, the per-event values do not.
+	faultFields := []string{"offset", "page", "major", "io_nanos", "section"}
 	a := &Snapshot{
 		Spans: []SpanPoint{{Seq: 1, Name: "build"}, {Seq: 3, Name: "link"}},
 		Timelines: []TimelinePoint{{
-			Name: "faults", Fields: []string{"page"},
-			Events: []TimelineEvent{{Seq: 2, Label: "text", Values: []int64{7}}},
+			Name: "osim.faults", Fields: faultFields,
+			Events: []TimelineEvent{{Seq: 2, Label: ".text", Values: []int64{4096, 1, 1, 96000, 0}}},
 		}},
 	}
 	b := &Snapshot{
 		Spans: []SpanPoint{{Seq: 1, Name: "build2"}},
 		Timelines: []TimelinePoint{{
-			Name: "faults", Fields: []string{"page"},
-			Events: []TimelineEvent{{Seq: 2, Label: "heap", Values: []int64{9}}},
+			Name: "osim.faults", Fields: faultFields,
+			Events: []TimelineEvent{{Seq: 2, Label: ".svm_heap", Values: []int64{40960, 10, 0, 0, 1}}},
 		}},
 	}
 	m := MergeSnapshots(a, b)
@@ -96,15 +100,26 @@ func TestMergeSnapshotsSequenceRebasing(t *testing.T) {
 	if !reflect.DeepEqual(m.Spans, wantSpans) {
 		t.Errorf("spans = %+v, want %+v", m.Spans, wantSpans)
 	}
-	tl := m.Timeline("faults")
+	tl := m.Timeline("osim.faults")
 	if tl == nil || len(tl.Events) != 2 {
 		t.Fatalf("timeline = %+v", tl)
 	}
-	if tl.Events[0].Label != "text" || tl.Events[0].Seq != 2 {
+	if !reflect.DeepEqual(tl.Fields, faultFields) {
+		t.Errorf("merged fields = %v", tl.Fields)
+	}
+	if tl.Events[0].Label != ".text" || tl.Events[0].Seq != 2 {
 		t.Errorf("first event: %+v", tl.Events[0])
 	}
-	if tl.Events[1].Label != "heap" || tl.Events[1].Seq != 5 {
+	if tl.Events[1].Label != ".svm_heap" || tl.Events[1].Seq != 5 {
 		t.Errorf("rebased event: %+v", tl.Events[1])
+	}
+	// The section column (and every other value) is untouched by the merge:
+	// merged snapshots from parallel builds remain attributable by index.
+	if !reflect.DeepEqual(tl.Events[0].Values, []int64{4096, 1, 1, 96000, 0}) {
+		t.Errorf("first event values mutated: %+v", tl.Events[0].Values)
+	}
+	if !reflect.DeepEqual(tl.Events[1].Values, []int64{40960, 10, 0, 0, 1}) {
+		t.Errorf("rebased event values mutated: %+v", tl.Events[1].Values)
 	}
 }
 

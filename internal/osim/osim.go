@@ -62,7 +62,39 @@ type OS struct {
 	// keeps the fault path free of instrumentation cost.
 	Obs *obs.Registry
 
+	// AttributeFaults asks higher layers (the image runtime) to attach a
+	// per-fault attribution recorder to every mapping even when no obs
+	// registry is present. The osim layer itself only carries the flag.
+	AttributeFaults bool
+
 	files []*File
+}
+
+// FaultEvent describes one page fault as it is taken, for FaultObserver
+// implementations (e.g. the attribution recorder of internal/obs/attrib).
+type FaultEvent struct {
+	// Off is the faulting byte offset; Page the faulting page index.
+	Off  int64
+	Page int
+	// Section indexes File.Sections for the section containing Off, or
+	// len(Sections) when the offset lies outside every section.
+	Section int
+	// Major reports whether the fault required device I/O; IONanos is the
+	// simulated device time charged to it (0 for minor faults).
+	Major   bool
+	IONanos int64
+	// ReadPages counts the pages the fault's read window brought into the
+	// page cache (0 for minor faults).
+	ReadPages int
+	// MappedStart/MappedEnd delimit the page range [MappedStart, MappedEnd)
+	// the fault-around window mapped into the process around the fault.
+	MappedStart, MappedEnd int
+}
+
+// FaultObserver receives every page fault of a mapping as it happens.
+// Observers must not touch the mapping they observe.
+type FaultObserver interface {
+	OnFault(FaultEvent)
 }
 
 // DefaultFaultAround is the default fault-around cluster size in pages.
@@ -165,6 +197,11 @@ type Mapping struct {
 	bySection []SectionFaults
 	other     SectionFaults
 
+	// Observer, when non-nil, receives every fault of the mapping. Set it
+	// before the first Touch; the startup faults of a process are part of
+	// the attribution stream too.
+	Observer FaultObserver
+
 	// Readahead escalation state (AdaptiveReadahead): lastEnd is the page
 	// index just past the previous read window; window the current size.
 	lastEnd int
@@ -193,7 +230,11 @@ func (f *File) Map() *Mapping {
 	m.other.Section = "<other>"
 	m.lastEnd = -1
 	if r := f.os.Obs; r.Enabled() {
-		m.tl = r.Timeline("osim.faults", "offset", "page", "major", "io_nanos")
+		// The trailing "section" column carries the section *index* (stable
+		// across builds of the same program, unlike event order), so merged
+		// snapshots from parallel builds remain attributable even after
+		// MergeSnapshots rebases the event sequence numbers.
+		m.tl = r.Timeline("osim.faults", "offset", "page", "major", "io_nanos", "section")
 		m.majorCtr = make([]*obs.Counter, len(f.Sections)+1)
 		m.minorCtr = make([]*obs.Counter, len(f.Sections)+1)
 		for i := range m.bySection {
@@ -234,6 +275,7 @@ func (m *Mapping) Touch(off int64) {
 		fa = 1
 	}
 	var faultIO time.Duration
+	read := 0
 	major := !m.file.resident[p]
 	if !major {
 		sf.Minor++
@@ -267,7 +309,6 @@ func (m *Mapping) Touch(off int64) {
 		if end > len(m.file.resident) {
 			end = len(m.file.resident)
 		}
-		read := 0
 		for i := start; i < end; i++ {
 			if !m.file.resident[i] {
 				m.file.resident[i] = true
@@ -290,7 +331,7 @@ func (m *Mapping) Touch(off int64) {
 		} else {
 			m.minorCtr[secIdx].Inc()
 		}
-		m.tl.Record(sf.Section, off, int64(p), mj, faultIO.Nanoseconds())
+		m.tl.Record(sf.Section, off, int64(p), mj, faultIO.Nanoseconds(), int64(secIdx))
 	}
 	// Fault-around: map the resident pages of the surrounding window
 	// without further faults (the red cells of Fig. 6).
@@ -309,6 +350,13 @@ func (m *Mapping) Touch(off int64) {
 		}
 	}
 	m.mapped[p] = true
+	if m.Observer != nil {
+		m.Observer.OnFault(FaultEvent{
+			Off: off, Page: p, Section: secIdx,
+			Major: major, IONanos: faultIO.Nanoseconds(), ReadPages: read,
+			MappedStart: start, MappedEnd: end,
+		})
+	}
 }
 
 // TouchRange accesses [off, off+n), faulting each covered page.
@@ -365,6 +413,23 @@ func (m *Mapping) PageStates(section string) []PageState {
 			out = append(out, PageMappedNoFault)
 		default:
 			out = append(out, PageUntouched)
+		}
+	}
+	return out
+}
+
+// PageClasses returns the per-page classification of the whole file — the
+// per-section view of PageStates extended to every page, used by the fault
+// attribution recorder to compute resident-but-unused (fault-around waste)
+// bytes per symbol after a run.
+func (m *Mapping) PageClasses() []PageState {
+	out := make([]PageState, len(m.mapped))
+	for p := range m.mapped {
+		switch {
+		case m.faulted[p]:
+			out[p] = PageFaulted
+		case m.mapped[p]:
+			out[p] = PageMappedNoFault
 		}
 	}
 	return out

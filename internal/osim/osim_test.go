@@ -250,6 +250,124 @@ func TestTouchOutOfRangePanics(t *testing.T) {
 	m.Touch(f.Size)
 }
 
+// faultLog collects observed fault events for the tests below.
+type faultLog struct{ events []FaultEvent }
+
+func (l *faultLog) OnFault(ev FaultEvent) { l.events = append(l.events, ev) }
+
+// TestFaultAroundTailClamped is the regression test for window clamping at
+// the end of the file: a fault inside the last, partial fault-around
+// cluster must never attribute counts past the section table or read/map
+// pages past the file size.
+func TestFaultAroundTailClamped(t *testing.T) {
+	o := NewOS(SSD())
+	o.FaultAround = 8
+	// 13 pages: the last cluster [8, 16) extends 3 pages past the file.
+	const pages = 13
+	size := int64(pages) * PageSize
+	f, err := o.NewFile("bin", size, []Section{
+		{Name: ".text", Off: 0, Len: 10 * PageSize},
+		{Name: ".svm_heap", Off: 10 * PageSize, Len: size - 10*PageSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Map()
+	log := &faultLog{}
+	m.Observer = log
+	m.Touch(size - 1) // last byte: page 12, cluster [8, 16) clamped to [8, 13)
+	if m.Faults != 1 || m.MajorFaults != 1 {
+		t.Fatalf("faults = %d major = %d", m.Faults, m.MajorFaults)
+	}
+	if got := f.ResidentPages(); got != 5 {
+		t.Errorf("resident pages = %d, want clamped cluster of 5", got)
+	}
+	// The fault is attributed inside the section table, never past it.
+	all := m.AllSectionFaults()
+	if len(all) != len(f.Sections)+1 {
+		t.Fatalf("AllSectionFaults length = %d", len(all))
+	}
+	if all[1].Major != 1 || all[0].Total() != 0 || all[2].Total() != 0 {
+		t.Errorf("tail fault misattributed: %+v", all)
+	}
+	// The observed event's window is clamped to the file's page count.
+	if len(log.events) != 1 {
+		t.Fatalf("observed %d events", len(log.events))
+	}
+	ev := log.events[0]
+	if ev.Section != 1 {
+		t.Errorf("event section = %d, want 1 (.svm_heap)", ev.Section)
+	}
+	if ev.MappedEnd > pages || ev.ReadPages > pages {
+		t.Errorf("window past file end: %+v", ev)
+	}
+	if ev.MappedStart != 8 || ev.MappedEnd != pages {
+		t.Errorf("window = [%d,%d), want [8,%d)", ev.MappedStart, ev.MappedEnd, pages)
+	}
+	// Same at the tail under adaptive readahead with an escalated window.
+	o2 := NewOS(SSD())
+	o2.FaultAround = 4
+	o2.AdaptiveReadahead = true
+	o2.MaxReadahead = 32
+	f2, err := o2.NewFile("bin2", size, []Section{{Name: ".text", Off: 0, Len: size}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := f2.Map()
+	log2 := &faultLog{}
+	m2.Observer = log2
+	for p := 0; p < pages; p++ {
+		m2.Touch(int64(p) * PageSize)
+	}
+	for _, ev := range log2.events {
+		if ev.MappedEnd > pages {
+			t.Errorf("adaptive window past file end: %+v", ev)
+		}
+		if ev.Section != 0 {
+			t.Errorf("event outside section table: %+v", ev)
+		}
+	}
+}
+
+// TestFaultObserverSeesEveryFault pins the observer contract: one event per
+// fault, in order, with major/minor and section indices matching the
+// mapping's own accounting.
+func TestFaultObserverSeesEveryFault(t *testing.T) {
+	o := NewOS(SSD())
+	o.FaultAround = 2
+	f := newTestFile(t, o, 16)
+	m1 := f.Map()
+	m1.Touch(0) // warm pages 0-1
+	m2 := f.Map()
+	log := &faultLog{}
+	m2.Observer = log
+	m2.Touch(0)            // minor (.text)
+	m2.Touch(4 * PageSize) // major (.text)
+	m2.Touch(8 * PageSize) // major (.svm_heap)
+	if int64(len(log.events)) != m2.Faults {
+		t.Fatalf("observed %d events, mapping counted %d faults", len(log.events), m2.Faults)
+	}
+	want := []struct {
+		major   bool
+		section int
+	}{{false, 0}, {true, 0}, {true, 1}}
+	for i, w := range want {
+		ev := log.events[i]
+		if ev.Major != w.major || ev.Section != w.section {
+			t.Errorf("event %d = %+v, want major=%v section=%d", i, ev, w.major, w.section)
+		}
+		if ev.Page != int(ev.Off/PageSize) {
+			t.Errorf("event %d page/offset mismatch: %+v", i, ev)
+		}
+		if ev.Major && ev.IONanos <= 0 {
+			t.Errorf("major fault without I/O time: %+v", ev)
+		}
+		if !ev.Major && (ev.IONanos != 0 || ev.ReadPages != 0) {
+			t.Errorf("minor fault with I/O: %+v", ev)
+		}
+	}
+}
+
 func TestAdaptiveReadaheadEscalates(t *testing.T) {
 	// Sequential cluster-by-cluster faults escalate the window, so a long
 	// sequential scan takes far fewer major faults than with the fixed

@@ -1,0 +1,91 @@
+package textviz
+
+// Terminal renderings of fault attribution tables (internal/obs/attrib):
+// the ranked cold-symbol table behind `nimage faults`, and the
+// eliminated/survived/new breakdown behind `nimage faults -diff`.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nimage/internal/obs/attrib"
+)
+
+// FaultTable renders the top symbols of an attribution table as a ranked
+// text table. limit <= 0 renders every symbol.
+func FaultTable(t *attrib.Table, limit int) string {
+	var b strings.Builder
+	title := t.Workload
+	if t.Layout != "" {
+		title += " (" + t.Layout + " layout)"
+	}
+	fmt.Fprintf(&b, "%s: %d faults over %d runs", title, t.TotalFaults(), t.Runs)
+	for _, s := range t.Sections {
+		fmt.Fprintf(&b, ", %s %d+%d", s.Section, s.Major, s.Minor)
+	}
+	b.WriteString(" (major+minor)\n")
+	fmt.Fprintf(&b, "%4s %7s %7s %10s %7s %9s %-7s %-10s %s\n",
+		"#", "faults", "major", "io", "first", "waste", "kind", "section", "symbol")
+	n := len(t.Symbols)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		s := t.Symbols[i]
+		sec := s.Section
+		if sec == "" {
+			sec = "-"
+		}
+		fmt.Fprintf(&b, "%4d %7d %7d %10v %7d %8dB %-7s %-10s %s\n",
+			i+1, s.Faults, s.Major, time.Duration(s.IONanos), s.FirstOrdinal,
+			s.ResidentUnusedBytes, s.Kind, sec, s.Name)
+	}
+	if n < len(t.Symbols) {
+		fmt.Fprintf(&b, "     ... %d more symbols\n", len(t.Symbols)-n)
+	}
+	return b.String()
+}
+
+// FaultDiff renders a table diff: the symbols a reordering stopped
+// faulting, the residual cold set, and any regressions. limit <= 0 renders
+// every symbol of each group.
+func FaultDiff(d *attrib.Diff, limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s -> %s: %d -> %d faults (%d eliminated, %d survived, %d new symbols)\n",
+		orLabel(d.BaselineLayout, "baseline"), orLabel(d.OptimizedLayout, "optimized"),
+		d.BaselineFaults, d.OptimizedFaults,
+		len(d.Eliminated), len(d.Survived), len(d.New))
+	diffGroup(&b, "eliminated (cold in baseline, never faults now)", d.Eliminated, limit)
+	diffGroup(&b, "survived (still cold — next iteration's targets)", d.Survived, limit)
+	diffGroup(&b, "new (regressions)", d.New, limit)
+	return b.String()
+}
+
+func orLabel(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+func diffGroup(b *strings.Builder, title string, es []attrib.DiffEntry, limit int) {
+	if len(es) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\n%s:\n", title)
+	fmt.Fprintf(b, "  %8s %9s %6s %10s %-7s %s\n",
+		"baseline", "optimized", "delta", "io-delta", "kind", "symbol")
+	n := len(es)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		e := es[i]
+		fmt.Fprintf(b, "  %8d %9d %+6d %10v %-7s %s\n",
+			e.Baseline, e.Optimized, e.Delta(), time.Duration(e.IODeltaNanos), e.Kind, e.Name)
+	}
+	if n < len(es) {
+		fmt.Fprintf(b, "  ... %d more\n", len(es)-n)
+	}
+}

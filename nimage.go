@@ -36,6 +36,7 @@ import (
 	"nimage/internal/image"
 	"nimage/internal/ir"
 	"nimage/internal/obs"
+	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
 	"nimage/internal/textviz"
@@ -225,6 +226,43 @@ func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 // RunReport is the observability snapshot attached to each measured
 // iteration when the harness runs with EvalConfig.Observe.
 type RunReport = eval.RunReport
+
+// Fault attribution.
+//
+// When a process runs with an obs registry (or OS.AttributeFaults), every
+// simulated page fault is attributed to the symbols on the faulted page —
+// the CUs of .text, the objects of .svm_heap, the native tail, and the
+// header — yielding a per-symbol fault table with cold-start ordinals and
+// fault-around waste. Tables diff by build-stable symbol names across
+// layouts, and export as pprof profiles or Chrome trace-event JSON
+// (`nimage faults`, `nimage report -artifacts`).
+
+// AttribTable is the per-symbol fault attribution of one or more cold runs.
+type AttribTable = attrib.Table
+
+// AttribSymbol is one symbol's aggregated fault record.
+type AttribSymbol = attrib.SymbolFaults
+
+// AttribDiff is the eliminated/survived/new symbol comparison of two
+// tables (baseline vs optimized layout).
+type AttribDiff = attrib.Diff
+
+// Attribution table operations: diff two tables, merge several, serialize,
+// and export (pprof protobuf / Chrome trace-event JSON).
+var (
+	DiffAttribTables  = attrib.DiffTables
+	MergeAttribTables = attrib.Merge
+	WriteAttribTable  = attrib.WriteTable
+	ReadAttribTable   = attrib.ReadTable
+	WriteAttribPprof  = attrib.WritePprof
+	WriteAttribTrace  = attrib.WriteChromeTrace
+)
+
+// FaultTableText renders the ranked cold-symbol table (limit <= 0: all).
+func FaultTableText(t *AttribTable, limit int) string { return textviz.FaultTable(t, limit) }
+
+// FaultDiffText renders a table diff (limit <= 0: all symbols per group).
+func FaultDiffText(d *AttribDiff, limit int) string { return textviz.FaultDiff(d, limit) }
 
 // EvalReport is the consolidated observability document of an evaluation
 // (see Harness.Report and `nimage-eval`'s output/report.json).
