@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|report] [-builds N] [-iters N] [-device ssd|nfs] [-out output]
+//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|report] [-workloads Bounce,micronaut]
+//	            [-builds N] [-iters N] [-device ssd|nfs] [-out output]
 package main
 
 import (
@@ -44,16 +45,66 @@ type benchDoc struct {
 	Figures    map[string]map[string]float64 `json:"figures"`
 }
 
+// parseWorkloadFilter resolves a comma-separated -workloads value; an empty
+// value means "no filter" (nil set).
+func parseWorkloadFilter(list string) (map[string]bool, error) {
+	if list == "" {
+		return nil, nil
+	}
+	keep := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := workloads.ByName(name); err != nil {
+			return nil, err
+		}
+		keep[name] = true
+	}
+	return keep, nil
+}
+
+// filterWorkloads restricts a figure's workload set to the -workloads
+// selection. A nil filter keeps the set unchanged.
+func filterWorkloads(ws []workloads.Workload, keep map[string]bool) []workloads.Workload {
+	if keep == nil {
+		return ws
+	}
+	var out []workloads.Workload
+	for _, w := range ws {
+		if keep[w.Name] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 func main() {
-	figure := flag.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|report")
-	builds := flag.Int("builds", 3, "images per strategy (paper: 10)")
-	iters := flag.Int("iters", 3, "cold runs per image (paper: 10)")
-	device := flag.String("device", "ssd", "storage device: ssd|nfs")
-	out := flag.String("out", "output", "output directory for CSV/PPM files")
-	bench := flag.String("bench", "BENCH_baseline.json", "benchmark-baseline JSON path (empty = skip)")
-	viz := flag.String("viz-workload", "Bounce", "workload of the Fig. 6 visualization")
-	workers := flag.Int("workers", 0, "concurrent build+measure tasks (0 = GOMAXPROCS; results are identical for every count)")
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nimage-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nimage-eval", flag.ContinueOnError)
+	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|report")
+	builds := fs.Int("builds", 3, "images per strategy (paper: 10)")
+	iters := fs.Int("iters", 3, "cold runs per image (paper: 10)")
+	device := fs.String("device", "ssd", "storage device: ssd|nfs")
+	out := fs.String("out", "output", "output directory for CSV/PPM files")
+	bench := fs.String("bench", "BENCH_baseline.json", "benchmark-baseline JSON path (empty = skip)")
+	viz := fs.String("viz-workload", "Bounce", "workload of the Fig. 6 visualization")
+	workers := fs.Int("workers", 0, "concurrent build+measure tasks (0 = GOMAXPROCS; results are identical for every count)")
+	wfilter := fs.String("workloads", "", "comma-separated workload filter applied to every experiment (empty = full sets)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	keep, err := parseWorkloadFilter(*wfilter)
+	if err != nil {
+		return err
+	}
 
 	cfg := eval.DefaultConfig()
 	cfg.Builds = *builds
@@ -65,15 +116,16 @@ func main() {
 	h := eval.NewHarness(cfg)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail(err)
+		return err
 	}
 	start := time.Now()
+	var runErr error
 	run := func(name string, f func() error) {
-		if *figure != "all" && *figure != name {
+		if runErr != nil || (*figure != "all" && *figure != name) {
 			return
 		}
 		if err := f(); err != nil {
-			fail(fmt.Errorf("figure %s: %w", name, err))
+			runErr = fmt.Errorf("figure %s: %w", name, err)
 		}
 	}
 
@@ -105,20 +157,50 @@ func main() {
 		}
 		return nil
 	}
+	// figureTable runs one figure over its (possibly filtered) workload set;
+	// a filter that empties the set skips the figure rather than failing, so
+	// "-workloads Bounce" works with "-figure all".
+	figureTable := func(key, file, title string, ws []workloads.Workload,
+		make func(string, []workloads.Workload) (*eval.Table, error)) error {
+		ws = filterWorkloads(ws, keep)
+		if len(ws) == 0 {
+			fmt.Printf("%s: no selected workloads, skipped\n\n", key)
+			return nil
+		}
+		return table(key, file, func() (*eval.Table, error) { return make(title, ws) })
+	}
 
-	run("2", func() error { return table("figure2-pagefaults-awfy", "figure2-pagefaults-awfy.csv", h.Figure2) })
+	run("2", func() error {
+		return figureTable("figure2-pagefaults-awfy", "figure2-pagefaults-awfy.csv",
+			"Figure 2: page-fault reduction on AWFY", workloads.AWFY(), h.PageFaultTable)
+	})
 	run("3", func() error {
-		return table("figure3-pagefaults-microservices", "figure3-pagefaults-microservices.csv", h.Figure3)
+		return figureTable("figure3-pagefaults-microservices", "figure3-pagefaults-microservices.csv",
+			"Figure 3: page-fault reduction on microservices", workloads.Microservices(), h.PageFaultTable)
 	})
 	run("4", func() error {
-		return table("figure4-speedup-microservices", "figure4-speedup-microservices.csv", h.Figure4)
+		return figureTable("figure4-speedup-microservices", "figure4-speedup-microservices.csv",
+			"Figure 4: execution-time speedup on microservices", workloads.Microservices(), h.SpeedupTable)
 	})
-	run("5", func() error { return table("figure5-speedup-awfy", "figure5-speedup-awfy.csv", h.Figure5) })
+	run("5", func() error {
+		return figureTable("figure5-speedup-awfy", "figure5-speedup-awfy.csv",
+			"Figure 5: execution-time speedup on AWFY", workloads.AWFY(), h.SpeedupTable)
+	})
 	run("overhead", func() error {
-		return table("overhead", "overhead.csv", func() (*eval.Table, error) { return h.Overhead(workloads.All()) })
+		ws := filterWorkloads(workloads.All(), keep)
+		if len(ws) == 0 {
+			fmt.Printf("overhead: no selected workloads, skipped\n\n")
+			return nil
+		}
+		return table("overhead", "overhead.csv", func() (*eval.Table, error) { return h.Overhead(ws) })
 	})
 	run("accessed", func() error {
-		fracs, err := h.AccessedFraction(workloads.AWFY())
+		ws := filterWorkloads(workloads.AWFY(), keep)
+		if len(ws) == 0 {
+			fmt.Printf("accessed: no selected workloads, skipped\n\n")
+			return nil
+		}
+		fracs, err := h.AccessedFraction(ws)
 		if err != nil {
 			return err
 		}
@@ -183,11 +265,18 @@ func main() {
 		rh := eval.NewHarness(rcfg)
 		var ws []workloads.Workload
 		for _, name := range []string{"Bounce", "micronaut"} {
+			if keep != nil && !keep[name] {
+				continue
+			}
 			w, err := workloads.ByName(name)
 			if err != nil {
 				return err
 			}
 			ws = append(ws, w)
+		}
+		if len(ws) == 0 {
+			fmt.Printf("report: no selected workloads, skipped\n\n")
+			return nil
 		}
 		rep, err := rh.Report(ws, []string{core.StrategyCU, core.StrategyHeapPath, core.StrategyCombined})
 		if err != nil {
@@ -227,14 +316,17 @@ func main() {
 		fmt.Printf("wrote %s\n\n", path)
 		return nil
 	})
+	if runErr != nil {
+		return runErr
+	}
 
 	if *bench != "" && len(baseline.Figures) > 0 {
 		data, err := json.MarshalIndent(baseline, "", "  ")
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := os.WriteFile(*bench, append(data, '\n'), 0o644); err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Printf("wrote %s (%d figures)\n", *bench, len(baseline.Figures))
 	}
@@ -247,9 +339,5 @@ func main() {
 			h.Workers(), work.Round(time.Millisecond), wall.Round(time.Millisecond),
 			work.Seconds()/wall.Seconds())
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "nimage-eval:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nimage/internal/eval"
+)
+
+// TestRunFigure2Filtered smoke-tests the CLI end to end on a single
+// workload: the figure CSV and the benchmark-baseline document must land in
+// the chosen paths with the committed schema.
+func TestRunFigure2Filtered(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "BENCH_baseline.json")
+	err := run([]string{
+		"-figure", "2", "-workloads", "Bounce",
+		"-builds", "1", "-iters", "1",
+		"-out", dir, "-bench", bench,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure2-pagefaults-awfy.csv")); err != nil {
+		t.Errorf("figure CSV missing: %v", err)
+	}
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, benchSchema)
+	}
+	geo := doc.Figures["figure2-pagefaults-awfy"]
+	if len(geo) == 0 {
+		t.Fatalf("no geomeans recorded: %+v", doc.Figures)
+	}
+	for s, f := range geo {
+		if f <= 0 {
+			t.Errorf("strategy %s: non-positive geomean factor %v", s, f)
+		}
+	}
+}
+
+// TestRunReportFiltered smoke-tests the observability report path: the
+// report document must carry its schema and at least one entry for the
+// selected workload.
+func TestRunReportFiltered(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-figure", "report", "-workloads", "Bounce",
+		"-out", dir, "-bench", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Entries []struct {
+			Workload string `json:"workload"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != eval.ReportSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, eval.ReportSchema)
+	}
+	if len(doc.Entries) == 0 {
+		t.Fatal("report has no entries")
+	}
+	for _, e := range doc.Entries {
+		if e.Workload != "Bounce" {
+			t.Errorf("unexpected workload %q with -workloads Bounce", e.Workload)
+		}
+	}
+}
+
+// TestRunRejectsUnknownWorkload: filter names must resolve.
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if err := run([]string{"-figure", "2", "-workloads", "NoSuch", "-out", t.TempDir(), "-bench", ""}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

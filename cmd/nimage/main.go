@@ -15,6 +15,7 @@
 //	nimage viz     -workload Bounce [-section text|heap] [-ppm out.ppm]
 //	nimage export  -workload Towers -strategy "cu+heap path" -o towers.nimg
 //	nimage exec    -image towers.nimg [-report out.json]
+//	nimage verify  [-workloads Bounce] [-strategies "cu,heap path"] [-seeds N] [-o report.json]
 package main
 
 import (
@@ -52,6 +53,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "exec":
 		err = cmdExec(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,6 +82,7 @@ commands:
   viz       render the Fig. 6 page-fault grid (-section text|heap)
   export    build an image and write its portable .nimg recipe
   exec      bake a .nimg recipe and run it cold
+  verify    check baseline/instrumented/optimized behavioral equivalence
 
 run 'nimage <command> -h' for flags`)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -94,5 +95,31 @@ func TestCmdExportExecRoundTrip(t *testing.T) {
 	}
 	if err := cmdExec([]string{"-image", filepath.Join(dir, "missing.nimg")}); err == nil {
 		t.Fatal("missing image accepted")
+	}
+}
+
+func TestCmdVerify(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "verify.json")
+	if err := cmdVerify([]string{"-workloads", "Sieve", "-strategies", "cu", "-q", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Pairs       int   `json:"pairs"`
+		Checks      int   `json:"checks"`
+		Divergences []any `json:"divergences"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Pairs != 1 || rep.Checks == 0 || len(rep.Divergences) != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if err := cmdVerify([]string{"-workloads", "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
 	}
 }

@@ -79,6 +79,18 @@ func (h *Harness) speedupTable(title string, ws []workloads.Workload) (*Table, e
 	return t, nil
 }
 
+// PageFaultTable builds a page-fault reduction table over an arbitrary
+// workload set (the shape of Figures 2 and 3).
+func (h *Harness) PageFaultTable(title string, ws []workloads.Workload) (*Table, error) {
+	return h.pageFaultTable(title, ws)
+}
+
+// SpeedupTable builds an execution-time speedup table over an arbitrary
+// workload set (the shape of Figures 4 and 5).
+func (h *Harness) SpeedupTable(title string, ws []workloads.Workload) (*Table, error) {
+	return h.speedupTable(title, ws)
+}
+
 // Figure2 reproduces the AWFY page-fault reductions.
 func (h *Harness) Figure2() (*Table, error) {
 	return h.pageFaultTable("Figure 2: page-fault reduction on AWFY", workloads.AWFY())

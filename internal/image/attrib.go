@@ -67,6 +67,11 @@ func (img *Image) AttributionIndex() *attrib.Index {
 	return img.attrIndex
 }
 
+// ObjectNames returns the build-stable attribution name of every snapshot
+// object ("hub:Class", "meta:Class", "Type#k"); the equivalence verifier
+// names diverging objects with them.
+func (img *Image) ObjectNames() map[*heap.Object]string { return img.objectNames() }
+
 // objectNames assigns every snapshot object its build-stable attribution
 // name. Ordinals are counted over img.Snapshot.Objects (encounter order),
 // not the layout order, so reordering the section does not rename objects.

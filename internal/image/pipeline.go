@@ -76,6 +76,13 @@ type PipelineResult struct {
 	HeapProfile []uint64
 }
 
+// InstrumentationFor maps a strategy name to the instrumentation its
+// profiling build needs (the mapping the pipeline applies internally);
+// the verifier uses it to rebuild the pipeline's instrumented image.
+func InstrumentationFor(strategy string) (graal.Instrumentation, error) {
+	return strategyInstr(strategy)
+}
+
 // strategyInstr maps a strategy name to the instrumentation it needs.
 func strategyInstr(strategy string) (graal.Instrumentation, error) {
 	switch strategy {

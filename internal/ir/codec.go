@@ -217,7 +217,17 @@ func (d *decoder) s() (string, error) {
 	return d.table[idx], nil
 }
 
-func (d *decoder) typeRef() (TypeRef, error) {
+// maxTypeDepth bounds array-type nesting; deeper encodings are corrupt
+// (the builder API cannot produce them) and would otherwise recurse
+// without limit.
+const maxTypeDepth = 64
+
+func (d *decoder) typeRef() (TypeRef, error) { return d.typeRefDepth(0) }
+
+func (d *decoder) typeRefDepth(depth int) (TypeRef, error) {
+	if depth > maxTypeDepth {
+		return TypeRef{}, fmt.Errorf("ir: type nesting exceeds %d", maxTypeDepth)
+	}
 	k, err := d.u()
 	if err != nil {
 		return TypeRef{}, err
@@ -229,7 +239,7 @@ func (d *decoder) typeRef() (TypeRef, error) {
 			return t, err
 		}
 	case KArray:
-		elem, err := d.typeRef()
+		elem, err := d.typeRefDepth(depth + 1)
 		if err != nil {
 			return t, err
 		}
@@ -255,6 +265,17 @@ func (d *decoder) count(what string) (int, error) {
 	return int(v), nil
 }
 
+// prealloc bounds a declared count to a sane preallocation size: declared
+// counts are validated but never trusted for allocation, since a few bytes
+// of input can declare maxCount elements. Slices grow with the elements
+// actually decoded.
+func prealloc(declared, limit int) int {
+	if declared > limit {
+		return limit
+	}
+	return declared
+}
+
 // DecodeProgram deserializes and resolves a program from r.
 func DecodeProgram(r io.Reader) (*Program, error) {
 	d := &decoder{r: bufio.NewReader(r)}
@@ -276,8 +297,8 @@ func DecodeProgram(r io.Reader) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.table = make([]string, nstr)
-	for i := range d.table {
+	d.table = make([]string, 0, prealloc(nstr, 4096))
+	for i := 0; i < nstr; i++ {
 		n, err := d.count("string")
 		if err != nil {
 			return nil, err
@@ -286,7 +307,7 @@ func DecodeProgram(r io.Reader) (*Program, error) {
 		if _, err := io.ReadFull(d.r, buf); err != nil {
 			return nil, err
 		}
-		d.table[i] = string(buf)
+		d.table = append(d.table, string(buf))
 	}
 
 	p := &Program{}
@@ -311,6 +332,9 @@ func DecodeProgram(r io.Reader) (*Program, error) {
 		sz, err := d.u()
 		if err != nil {
 			return nil, err
+		}
+		if sz > 1<<30 {
+			return nil, fmt.Errorf("ir: implausible resource size %d", sz)
 		}
 		r.Size = int(sz)
 		p.Resources = append(p.Resources, r)
@@ -370,6 +394,9 @@ func DecodeProgram(r io.Reader) (*Program, error) {
 			if err != nil {
 				return nil, err
 			}
+			if np > math.MaxInt32 {
+				return nil, fmt.Errorf("ir: implausible parameter count %d", np)
+			}
 			m.NParams = int(np)
 			if m.Returns, err = d.typeRef(); err != nil {
 				return nil, err
@@ -392,8 +419,9 @@ func DecodeProgram(r io.Reader) (*Program, error) {
 				if err != nil {
 					return nil, err
 				}
-				b.Instrs = make([]Instr, ni)
+				b.Instrs = make([]Instr, 0, prealloc(ni, 1024))
 				for ii := 0; ii < ni; ii++ {
+					b.Instrs = append(b.Instrs, Instr{})
 					in := &b.Instrs[ii]
 					op, err := d.u()
 					if err != nil {
@@ -432,13 +460,13 @@ func DecodeProgram(r io.Reader) (*Program, error) {
 						return nil, err
 					}
 					if na > 0 {
-						in.Args = make([]int, na)
+						in.Args = make([]int, 0, prealloc(na, 256))
 						for ai := 0; ai < na; ai++ {
 							av, err := d.i()
 							if err != nil {
 								return nil, err
 							}
-							in.Args[ai] = int(av)
+							in.Args = append(in.Args, int(av))
 						}
 					}
 				}

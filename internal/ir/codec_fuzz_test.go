@@ -1,0 +1,122 @@
+package ir
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// putUvarints renders a byte sequence from varints (fuzz-input builder).
+func putUvarints(prefix []byte, vs ...uint64) []byte {
+	out := append([]byte{}, prefix...)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range vs {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	return out
+}
+
+// TestDecodeProgramRejectsHostileInput covers the alloc-bomb and
+// recursion paths hardened against fuzzer findings: declared counts far
+// beyond the bytes present, and unbounded array-type nesting.
+func TestDecodeProgramRejectsHostileInput(t *testing.T) {
+	head := []byte(progMagic)
+	head = putUvarints(head, progVersion)
+
+	// Deeply nested array type: version, empty string table, name/entry
+	// strings would come next — instead feed a huge KArray chain through a
+	// program with one class and one field.
+	deepType := putUvarints(nil)
+	for i := 0; i < 2*maxTypeDepth; i++ {
+		deepType = putUvarints(deepType, uint64(KArray))
+	}
+
+	cases := map[string]struct {
+		data    []byte
+		wantErr string
+	}{
+		"huge-string-table": {putUvarints(head, 1<<40), "implausible string-table count"},
+		// Declares maxCount strings with no bytes behind them: must fail
+		// from missing input, not allocate the declared table.
+		"declared-strings-not-present": {putUvarints(head, maxCount), "EOF"},
+		"huge-resource-size": {putUvarints(head,
+			1, 1, 'x', // one 1-byte string "x"
+			0, 0, 0, // name, entry class, entry method
+			1,     // one resource
+			0,     // resource name
+			1<<40, // resource size
+		), "implausible resource size"},
+		"deep-array-type": {append(putUvarints(head,
+			1, 1, 'x', // string table: "x"
+			0, 0, 0, // name, entry
+			0,    // no resources
+			1,    // one class
+			0, 0, // class name, super
+			1, // one field
+			0, // field name
+		), deepType...), "type nesting exceeds"},
+		"huge-param-count": {putUvarints(head,
+			1, 1, 'x',
+			0, 0, 0,
+			0,    // no resources
+			1,    // one class
+			0, 0, // name, super
+			0, 0, // no fields, no statics
+			1,     // one method
+			0,     // method name
+			0,     // flags
+			1<<40, // NParams
+		), "implausible parameter count"},
+	}
+	for name, tc := range cases {
+		_, err := DecodeProgram(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: hostile input accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// FuzzIRCodec asserts the program decoder never panics, and that any
+// program it accepts re-encodes canonically: encode(decode(data)) must be
+// a fixed point of a further decode/encode round trip.
+func FuzzIRCodec(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeProgram(&seed, buildCodecProgram(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:16])
+	f.Add([]byte(progMagic))
+	f.Add(putUvarints([]byte(progMagic), progVersion, 0, 0, 0, 0, 0, 0))
+	corrupt := append([]byte{}, seed.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProgram(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := EncodeProgram(&b1, p); err != nil {
+			t.Fatalf("re-encoding accepted program: %v", err)
+		}
+		p2, err := DecodeProgram(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := EncodeProgram(&b2, p2); err != nil {
+			t.Fatalf("re-encoding round-tripped program: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("encoding is not canonical under round trip")
+		}
+	})
+}

@@ -10,7 +10,7 @@ import (
 // buildCodecProgram constructs a program exercising every encodable
 // feature: inheritance, statics, resources, floats, arrays, virtual calls,
 // intrinsics, all terminators.
-func buildCodecProgram(t *testing.T) *Program {
+func buildCodecProgram(t testing.TB) *Program {
 	t.Helper()
 	b := NewBuilder("codec")
 	b.Class(StringClass)

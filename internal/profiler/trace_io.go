@@ -70,38 +70,66 @@ func ReadTraces(r io.Reader) (graal.Instrumentation, DumpMode, []ThreadTrace, er
 		return 0, 0, nil, fmt.Errorf("profiler: unsupported trace version %d", head[4])
 	}
 	kind := graal.Instrumentation(head[5])
+	if kind > graal.InstrHeap {
+		return 0, 0, nil, fmt.Errorf("profiler: unknown instrumentation kind %d", head[5])
+	}
 	mode := DumpMode(head[6])
+	if mode > MemoryMapped {
+		return 0, 0, nil, fmt.Errorf("profiler: unknown dump mode %d", head[6])
+	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("profiler: reading trace count: %w", err)
 	}
-	if n > 1<<20 {
+	if n > maxThreads {
 		return 0, 0, nil, fmt.Errorf("profiler: implausible thread count %d", n)
 	}
-	traces := make([]ThreadTrace, 0, n)
+	// Declared counts are validated but never trusted for allocation: a
+	// 10-byte input can declare gigabytes. Preallocation is capped and the
+	// slices grow with the bytes actually present.
+	traces := make([]ThreadTrace, 0, capPrealloc(n, 1024))
 	for i := uint64(0); i < n; i++ {
 		tid, err := binary.ReadUvarint(br)
 		if err != nil {
 			return 0, 0, nil, fmt.Errorf("profiler: reading tid: %w", err)
 		}
+		if tid > maxThreads {
+			return 0, 0, nil, fmt.Errorf("profiler: implausible tid %d", tid)
+		}
 		words, err := binary.ReadUvarint(br)
 		if err != nil {
 			return 0, 0, nil, fmt.Errorf("profiler: reading word count: %w", err)
 		}
-		if words > 1<<32 {
+		if words > maxTraceWords {
 			return 0, 0, nil, fmt.Errorf("profiler: implausible trace size %d", words)
 		}
 		tr := ThreadTrace{TID: int(tid)}
 		if words > 0 {
-			tr.Words = make([]uint64, words)
+			tr.Words = make([]uint64, 0, capPrealloc(words, 4096))
 		}
-		for j := range tr.Words {
-			tr.Words[j], err = binary.ReadUvarint(br)
+		for j := uint64(0); j < words; j++ {
+			word, err := binary.ReadUvarint(br)
 			if err != nil {
 				return 0, 0, nil, fmt.Errorf("profiler: reading word %d of thread %d: %w", j, tid, err)
 			}
+			tr.Words = append(tr.Words, word)
 		}
 		traces = append(traces, tr)
 	}
 	return kind, mode, traces, nil
+}
+
+// Plausibility bounds on declared counts. Anything larger is rejected as
+// corrupt rather than allocated.
+const (
+	maxThreads    = 1 << 20
+	maxTraceWords = 1 << 32
+)
+
+// capPrealloc bounds a declared count to a sane preallocation size.
+func capPrealloc(declared, limit uint64) uint64 {
+	if declared > limit {
+		return limit
+	}
+	return declared
 }

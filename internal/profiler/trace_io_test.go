@@ -1,0 +1,142 @@
+package profiler
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nimage/internal/graal"
+)
+
+// encodeTraces is the test-side encoder shorthand.
+func encodeTraces(t testing.TB, kind graal.Instrumentation, mode DumpMode, traces []ThreadTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, kind, mode, traces); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []ThreadTrace{
+		{TID: 0, Words: []uint64{1, 2, 3, 1 << 40}},
+		{TID: 7, Words: nil},
+		{TID: 3, Words: []uint64{42}},
+	}
+	data := encodeTraces(t, graal.InstrHeap, MemoryMapped, in)
+	kind, mode, out, err := ReadTraces(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != graal.InstrHeap || mode != MemoryMapped {
+		t.Fatalf("kind/mode = %v/%v", kind, mode)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d traces, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].TID != in[i].TID || !reflect.DeepEqual(append([]uint64{}, out[i].Words...), append([]uint64{}, in[i].Words...)) {
+			t.Fatalf("trace %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// corruptTraceInputs enumerates hostile inputs with the error each must
+// produce; they double as the fuzz seed corpus.
+func corruptTraceInputs(t testing.TB) map[string]struct {
+	data    []byte
+	wantErr string
+} {
+	valid := encodeTraces(t, graal.InstrCU, DumpOnFull, []ThreadTrace{{TID: 1, Words: []uint64{9, 8, 7}}})
+
+	// header bytes: magic[4] version kind mode
+	mutate := func(idx int, b byte) []byte {
+		c := append([]byte{}, valid...)
+		c[idx] = b
+		return c
+	}
+	uvarint := func(v uint64) []byte {
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], v)
+		return tmp[:n]
+	}
+	// magic[4] version kind mode pad
+	header := []byte{'N', 'T', 'R', 'C', traceVersion, byte(graal.InstrCU), byte(DumpOnFull), 0}
+
+	return map[string]struct {
+		data    []byte
+		wantErr string
+	}{
+		"empty":           {nil, "reading trace header"},
+		"truncated-magic": {[]byte("NT"), "reading trace header"},
+		"bad-magic":       {mutate(0, 'X'), "bad trace magic"},
+		"bad-version":     {mutate(4, 99), "unsupported trace version"},
+		"bad-kind":        {mutate(5, 200), "unknown instrumentation kind"},
+		"bad-mode":        {mutate(6, 9), "unknown dump mode"},
+		"no-count":        {header, "reading trace count"},
+		"absurd-threads":  {append(append([]byte{}, header...), uvarint(1<<40)...), "implausible thread count"},
+		"absurd-tid": {append(append(append([]byte{}, header...),
+			uvarint(1)...), uvarint(1<<30)...), "implausible tid"},
+		"absurd-words": {append(append(append(append([]byte{}, header...),
+			uvarint(1)...), uvarint(3)...), uvarint(1<<40)...), "implausible trace size"},
+		// Declares 1M words but supplies none: must error out without
+		// allocating the declared size.
+		"declared-not-present": {append(append(append(append([]byte{}, header...),
+			uvarint(1)...), uvarint(3)...), uvarint(1<<20)...), "reading word"},
+		"truncated-words": {valid[:len(valid)-2], "reading word"},
+	}
+}
+
+func TestReadTracesRejectsCorruptInput(t *testing.T) {
+	for name, tc := range corruptTraceInputs(t) {
+		_, _, _, err := ReadTraces(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// FuzzReadTraces asserts the decoder never panics and that everything it
+// accepts survives an encode/decode round trip unchanged.
+func FuzzReadTraces(f *testing.F) {
+	f.Add(encodeTraces(f, graal.InstrCU, DumpOnFull, []ThreadTrace{{TID: 1, Words: []uint64{9, 8, 7}}}))
+	f.Add(encodeTraces(f, graal.InstrHeap, MemoryMapped, []ThreadTrace{
+		{TID: 0, Words: []uint64{1 << 60}}, {TID: 2},
+	}))
+	f.Add(encodeTraces(f, graal.InstrMethod, DumpOnFull, nil))
+	for _, tc := range corruptTraceInputs(f) {
+		f.Add(tc.data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, mode, traces, err := ReadTraces(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		re := encodeTraces(t, kind, mode, traces)
+		kind2, mode2, traces2, err := ReadTraces(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		if kind2 != kind || mode2 != mode || len(traces2) != len(traces) {
+			t.Fatalf("round trip changed shape: %v/%v/%d vs %v/%v/%d",
+				kind, mode, len(traces), kind2, mode2, len(traces2))
+		}
+		for i := range traces {
+			if traces2[i].TID != traces[i].TID || len(traces2[i].Words) != len(traces[i].Words) {
+				t.Fatalf("round trip changed trace %d", i)
+			}
+			for j := range traces[i].Words {
+				if traces2[i].Words[j] != traces[i].Words[j] {
+					t.Fatalf("round trip changed word %d of trace %d", j, i)
+				}
+			}
+		}
+	})
+}

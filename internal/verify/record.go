@@ -1,0 +1,190 @@
+package verify
+
+import (
+	"fmt"
+	"strconv"
+
+	"nimage/internal/heap"
+	"nimage/internal/image"
+	"nimage/internal/ir"
+	"nimage/internal/osim"
+	"nimage/internal/vm"
+)
+
+// outEvent is one observable output event of a run (print or respond),
+// attributed to the innermost executing method and its compilation unit.
+type outEvent struct {
+	step   int64
+	tid    int
+	text   string
+	method string
+	cu     string
+}
+
+func (e outEvent) String() string {
+	return fmt.Sprintf("step %d tid %d: %s (in %s, CU %s)", e.step, e.tid, e.text, e.method, e.cu)
+}
+
+// runRecord captures everything the verifier compares about one execution
+// of one image.
+type runRecord struct {
+	build string // label: "baseline", "instrumented", "optimized", ...
+
+	outputs      []outEvent
+	outputDigest uint64
+
+	// journal holds the raw journal events; writes/all are their stable
+	// renderings (writes excludes intern additions, whose cross-kind
+	// differences are legitimate constant-folding effects).
+	journal       []vm.JournalEvent
+	writes        []string
+	all           []string
+	writeDigest   uint64
+	journalDigest uint64
+
+	heapDigest uint64
+	steps      int64
+
+	textFaults, heapFaults, totalFaults int64
+
+	// names resolves diverging objects to build-stable symbols.
+	names map[*heap.Object]string
+}
+
+// recordRun executes the image cold on a fresh OS and records its
+// observable behavior. Output events are attributed to the innermost
+// method on the executing thread's stack (maintained via the method
+// enter/exit hooks) and to the CU compiled from it.
+func recordRun(img *image.Image, service bool, args []int64, build string) (*runRecord, error) {
+	rec := &runRecord{build: build}
+	o := osim.NewOS(osim.SSD())
+	stacks := make(map[int][]*ir.Method)
+	cuOf := func(tid int) (string, string) {
+		st := stacks[tid]
+		if len(st) == 0 {
+			return "", ""
+		}
+		m := st[len(st)-1]
+		for i := len(st) - 1; i >= 0; i-- {
+			if cu := img.CUOf(st[i]); cu != nil {
+				return m.Signature(), cu.Signature()
+			}
+		}
+		return m.Signature(), ""
+	}
+	var machine *vm.Machine
+	hooks := vm.Hooks{
+		OnMethodEnter: func(tid int, m *ir.Method) {
+			stacks[tid] = append(stacks[tid], m)
+		},
+		OnMethodExit: func(tid int, m *ir.Method) {
+			if st := stacks[tid]; len(st) > 0 {
+				stacks[tid] = st[:len(st)-1]
+			}
+		},
+		OnPrint: func(tid int, v heap.Value) {
+			method, cu := cuOf(tid)
+			rec.outputs = append(rec.outputs, outEvent{
+				step: machine.Steps, tid: tid, text: renderValue(v), method: method, cu: cu,
+			})
+		},
+		OnRespond: func() {
+			rec.outputs = append(rec.outputs, outEvent{step: machine.Steps, text: "<respond>"})
+		},
+	}
+	proc, err := img.NewProcess(o, hooks)
+	if err != nil {
+		return nil, fmt.Errorf("verify: starting %s process: %w", build, err)
+	}
+	defer proc.Close()
+	machine = proc.Machine
+	machine.StopOnRespond = service
+	if err := proc.Run(args...); err != nil {
+		return nil, fmt.Errorf("verify: running %s build: %w", build, err)
+	}
+
+	rec.steps = machine.Steps
+	rec.journal = machine.JournalEvents()
+	for _, e := range rec.journal {
+		r := renderJournalEvent(e)
+		rec.all = append(rec.all, r)
+		if e.Kind != "intern" {
+			rec.writes = append(rec.writes, r)
+		}
+	}
+	rec.writeDigest = digestStrings(rec.writes)
+	rec.journalDigest = digestStrings(rec.all)
+	rendered := make([]string, len(rec.outputs))
+	for i, e := range rec.outputs {
+		rendered[i] = e.text + "@" + strconv.Itoa(e.tid)
+	}
+	rec.outputDigest = digestStrings(rendered)
+	rec.heapDigest = heapStateDigest(img.Program, img.Statics)
+
+	st := proc.Stats()
+	rec.textFaults = st.TextFaults.Total()
+	rec.heapFaults = st.HeapFaults.Total()
+	rec.totalFaults = st.TotalFaults
+	rec.names = img.ObjectNames()
+	return rec, nil
+}
+
+// firstOutputDivergence returns the ordinal and description of the first
+// differing output event between two runs, or -1 when the streams agree.
+func firstOutputDivergence(a, b *runRecord) (int, string) {
+	n := len(a.outputs)
+	if len(b.outputs) < n {
+		n = len(b.outputs)
+	}
+	for i := 0; i < n; i++ {
+		if a.outputs[i].text != b.outputs[i].text || a.outputs[i].tid != b.outputs[i].tid {
+			return i, fmt.Sprintf("%s: %v; %s: %v", a.build, a.outputs[i], b.build, b.outputs[i])
+		}
+	}
+	if len(a.outputs) != len(b.outputs) {
+		return n, fmtCount("%s printed %d events, %s printed %d", a.build, len(a.outputs), b.build, len(b.outputs))
+	}
+	return -1, ""
+}
+
+// firstJournalDivergence returns the ordinal, description, and responsible
+// symbol of the first differing rendered journal event between two runs
+// (comparing the given renderings), or -1 when the streams agree.
+func firstJournalDivergence(a, b *runRecord, as, bs []string) (int, string, string) {
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		if as[i] != bs[i] {
+			return i, fmt.Sprintf("%s: %s; %s: %s", a.build, as[i], b.build, bs[i]),
+				a.symbolOfEvent(as[i]) + " / " + b.symbolOfEvent(bs[i])
+		}
+	}
+	if len(as) != len(bs) {
+		return n, fmtCount("%s journaled %d events, %s journaled %d", a.build, len(as), b.build, len(bs)), ""
+	}
+	return -1, "", ""
+}
+
+// symbolOfEvent resolves the rendered journal event back to the
+// build-stable name of the mutated object (attribution naming).
+func (r *runRecord) symbolOfEvent(rendered string) string {
+	for i, s := range r.all {
+		if s != rendered {
+			continue
+		}
+		e := r.journal[i]
+		if e.Object != nil {
+			if name, ok := r.names[e.Object]; ok {
+				return name
+			}
+			return e.Object.TypeName()
+		}
+		if e.Field != nil {
+			return e.Field.Signature()
+		}
+		return "intern:" + e.Literal
+	}
+	return ""
+}

@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"nimage/internal/core"
+	"nimage/internal/workloads"
+)
+
+// requireOK runs the verifier and fails the test on any divergence,
+// printing each one (the divergence details are the debugging payload).
+func requireOK(t *testing.T, opts Options) *Report {
+	t.Helper()
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatalf("verify.Run: %v", err)
+	}
+	for _, d := range rep.Divergences {
+		t.Errorf("divergence: %s", d)
+	}
+	if t.Failed() {
+		t.Fatalf("%s", rep.Summary())
+	}
+	return rep
+}
+
+func oneWorkload(t *testing.T, name string) []workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []workloads.Workload{w}
+}
+
+// TestEquivalenceBounceAllStrategies is the core differential check: every
+// strategy's optimized Bounce build must behave identically to the
+// baseline and be a permutation of the unordered reference.
+func TestEquivalenceBounceAllStrategies(t *testing.T) {
+	rep := requireOK(t, Options{Workloads: oneWorkload(t, "Bounce")})
+	if rep.Pairs != len(Strategies()) {
+		t.Fatalf("verified %d pairs, want %d", rep.Pairs, len(Strategies()))
+	}
+	if rep.Checks == 0 {
+		t.Fatal("no checks evaluated")
+	}
+}
+
+// TestEquivalenceMicroservice exercises the service shape: threads,
+// respond-and-stop, runtime interning, memory-mapped tracing.
+func TestEquivalenceMicroservice(t *testing.T) {
+	requireOK(t, Options{
+		Workloads:  oneWorkload(t, "micronaut"),
+		Strategies: []string{core.StrategyCU, core.StrategyHeapPath},
+	})
+}
+
+// TestEquivalenceGenerated runs seeded random programs through the
+// verifier: build/run paths no hand-written workload covers.
+func TestEquivalenceGenerated(t *testing.T) {
+	rep := requireOK(t, Options{
+		Workloads:  []workloads.Workload{workloads.Generated(1), workloads.Generated(2)},
+		Strategies: []string{core.StrategyCU, core.StrategyHeapPath},
+	})
+	if got := strings.Join(rep.Workloads, ","); got != "Gen0001,Gen0002" {
+		t.Fatalf("workloads = %q", got)
+	}
+}
+
+// TestGeneratedDeterministic asserts the generator is a pure function of
+// its seed.
+func TestGeneratedDeterministic(t *testing.T) {
+	a := workloads.Generated(7).Build()
+	b := workloads.Generated(7).Build()
+	if len(a.Classes) != len(b.Classes) {
+		t.Fatalf("class counts differ: %d vs %d", len(a.Classes), len(b.Classes))
+	}
+	for i := range a.Classes {
+		if a.Classes[i].Name != b.Classes[i].Name {
+			t.Fatalf("class %d: %s vs %s", i, a.Classes[i].Name, b.Classes[i].Name)
+		}
+	}
+	c := workloads.Generated(8).Build()
+	if len(a.Classes) == len(c.Classes) {
+		// Different seeds usually differ in shape; identical class counts
+		// are possible but the methods should still differ somewhere. Spot
+		// check the benchmark arg instead, which is seed-derived.
+		if workloads.Generated(7).Args[0] == workloads.Generated(8).Args[0] &&
+			len(a.Classes) == len(c.Classes) {
+			t.Log("seeds 7 and 8 coincide in size; acceptable but unusual")
+		}
+	}
+}

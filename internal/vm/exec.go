@@ -256,6 +256,9 @@ func (m *Machine) intrinsic(t *thread, f *frame, in *ir.Instr) (yielded bool, er
 			if o := f.regs[in.Args[0]].Ref; o != nil {
 				m.touch(t, o)
 			}
+			if m.Hooks.OnPrint != nil {
+				m.Hooks.OnPrint(t.id, f.regs[in.Args[0]])
+			}
 		}
 		m.Cycles += 20
 	case ir.IntrinsicArg:

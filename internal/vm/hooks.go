@@ -22,7 +22,18 @@ func ComposeHooks(a, b Hooks) Hooks {
 	h.OnAccess = compose2A(a.OnAccess, b.OnAccess)
 	h.OnNew = compose2N(a.OnNew, b.OnNew)
 	h.OnRespond = compose2V(a.OnRespond, b.OnRespond)
+	h.OnPrint = compose2P(a.OnPrint, b.OnPrint)
 	return h
+}
+
+func compose2P(a, b func(int, heap.Value)) func(int, heap.Value) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(tid int, v heap.Value) { a(tid, v); b(tid, v) }
 }
 
 func compose2M(a, b func(int, *ir.Method)) func(int, *ir.Method) {

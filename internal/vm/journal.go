@@ -80,6 +80,51 @@ func (m *Machine) Rollback() {
 	}
 }
 
+// JournalEvent is one journaled mutation of build-time state, in recording
+// (execution) order. The equivalence verifier digests these streams: a run
+// over a semantically equivalent image must journal the same mutations in
+// the same order.
+type JournalEvent struct {
+	// Kind is "field", "elem", "static", or "intern".
+	Kind string
+	// Object is the mutated snapshot object ("field"/"elem" events).
+	Object *heap.Object
+	// Field is the written field ("field"/"static" events).
+	Field *ir.Field
+	// Index is the written element index ("elem" events).
+	Index int
+	// Prev is the overwritten value ("field"/"elem"/"static" events).
+	Prev heap.Value
+	// Literal is the interned string ("intern" events).
+	Literal string
+}
+
+// JournalEvents returns the journaled mutations recorded so far: the field
+// writes, element writes, static writes, and intern additions, each stream
+// in execution order (writes record only the first overwrite of each
+// location). It returns nil when journaling is off or after Rollback.
+func (m *Machine) JournalEvents() []JournalEvent {
+	j := m.journal
+	if j == nil {
+		return nil
+	}
+	out := make([]JournalEvent, 0,
+		len(j.fieldWrites)+len(j.elemWrites)+len(j.staticWrites)+len(j.internAdds))
+	for _, w := range j.fieldWrites {
+		out = append(out, JournalEvent{Kind: "field", Object: w.o, Field: w.f, Prev: w.prev})
+	}
+	for _, w := range j.elemWrites {
+		out = append(out, JournalEvent{Kind: "elem", Object: w.o, Index: w.idx, Prev: w.prev})
+	}
+	for _, w := range j.staticWrites {
+		out = append(out, JournalEvent{Kind: "static", Field: w.f, Prev: w.prev})
+	}
+	for _, s := range j.internAdds {
+		out = append(out, JournalEvent{Kind: "intern", Literal: s})
+	}
+	return out
+}
+
 // recordFieldWrite journals the first overwrite of a snapshot object field.
 func (m *Machine) recordFieldWrite(o *heap.Object, f *ir.Field) {
 	j := m.journal

@@ -49,6 +49,10 @@ type Hooks struct {
 	// OnRespond fires when the workload executes the respond intrinsic
 	// (first external response of a microservice, Sec. 7.1).
 	OnRespond func()
+	// OnPrint fires when the workload executes the print intrinsic, with
+	// the printed value. The equivalence verifier records these events as
+	// the program's observable output.
+	OnPrint func(tid int, v heap.Value)
 }
 
 // Simulated cost model (cycle units; see CycleNanos).

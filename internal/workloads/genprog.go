@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nimage/internal/ir"
+)
+
+// Generated returns a seeded random workload: a full program (core library,
+// startup runtime, generated library packages, and a generated benchmark)
+// whose shape — package sizes, hot-code density, class hierarchy, method
+// bodies — is drawn deterministically from the seed. The equivalence
+// verifier runs these to exercise build/run paths no hand-written workload
+// covers; the same seed always yields the same program.
+func Generated(seed uint64) Workload {
+	return Workload{
+		Name: fmt.Sprintf("Gen%04d", seed),
+		Args: []int64{6 + int64(seed%7)},
+		Build: func() *ir.Program {
+			return buildGenerated(seed)
+		},
+	}
+}
+
+// buildGenerated constructs the program for one seed. The benchmark result
+// must be a pure function of the program and its arguments — never of the
+// build salt — so the generated code keeps salt out of every value that can
+// reach the printed result (the library packages confine salt to clinit
+// heap contents and discarded accumulators, as the real workloads do).
+func buildGenerated(seed uint64) *ir.Program {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	name := fmt.Sprintf("Gen%04d", seed)
+	b := ir.NewBuilder(name)
+	addCoreLibrary(b)
+
+	npkg := 2 + rng.Intn(2)
+	specs := make([]pkgSpec, 0, npkg)
+	for i := 0; i < npkg; i++ {
+		sp := pkgSpec{
+			name:    fmt.Sprintf("gen.p%d", i),
+			classes: 4 + rng.Intn(6),
+			methods: 3 + rng.Intn(4),
+			body:    10 + rng.Intn(18),
+			data:    6 + 2*rng.Intn(5),
+			reads:   1 + rng.Intn(2),
+		}
+		if rng.Intn(4) > 0 {
+			sp.hotPeriod = 2 + rng.Intn(4)
+		}
+		specs = append(specs, sp)
+	}
+	addStartup(b, startupScale{
+		packages:      specs,
+		resources:     rng.Intn(3),
+		resourceBytes: 512 + 256*rng.Intn(5),
+	})
+
+	genBenchmark(b, rng)
+	finishMain(b, "GenBench")
+	return b.MustBuild()
+}
+
+// genBenchmark emits a random class hierarchy (a base "shape" with 2–4
+// subclasses overriding a virtual step method) and GenBench.benchmark(n):
+// n iterations of virtual dispatch over a mixed array of shapes, folding
+// each step result — plus an array checksum and a string length — into the
+// returned accumulator.
+func genBenchmark(b *ir.Builder, rng *rand.Rand) {
+	base := b.Class("GenShape")
+	base.Field("acc", ir.Int())
+	sm := base.Method("step", 1, ir.Int())
+	se := sm.Entry()
+	se.Ret(sm.Param(0))
+
+	nsub := 2 + rng.Intn(3)
+	for s := 0; s < nsub; s++ {
+		sub := b.Class(fmt.Sprintf("GenShape%d", s)).Extends("GenShape")
+		m := sub.Method("step", 1, ir.Int())
+		e := m.Entry()
+		v := e.Move(m.Param(0))
+		prev := e.GetField(m.This(), "GenShape", "acc")
+		ops := 2 + rng.Intn(5)
+		for k := 0; k < ops; k++ {
+			c := e.ConstInt(int64(1 + rng.Intn(97)))
+			switch rng.Intn(4) {
+			case 0:
+				e.ArithTo(v, ir.Add, v, c)
+			case 1:
+				e.ArithTo(v, ir.Xor, v, c)
+			case 2:
+				e.ArithTo(v, ir.Mul, v, c)
+			default:
+				// Keep the divisor a nonzero constant: generated code must
+				// never fault.
+				e.ArithTo(v, ir.Rem, v, c)
+			}
+		}
+		e.ArithTo(v, ir.Add, v, prev)
+		e.PutField(m.This(), "GenShape", "acc", v)
+		e.Ret(v)
+	}
+
+	bench := b.Class("GenBench")
+	bm := bench.StaticMethod("benchmark", 1, ir.Int())
+	e := bm.Entry()
+	count := e.ConstInt(int64(8 + rng.Intn(9)))
+	shapes := e.NewArray(ir.Ref("GenShape"), count)
+	zero := e.ConstInt(0)
+	// Fill the array round-robin across the subclasses, so the virtual
+	// call below stays polymorphic.
+	fill := e
+	nsubReg := e.ConstInt(int64(nsub))
+	fill = fill.For(zero, count, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		which := body.Arith(ir.Rem, i, nsubReg)
+		cur := body
+		for s := 0; s < nsub; s++ {
+			sc := cur.ConstInt(int64(s))
+			hit := cur.Cmp(ir.Eq, which, sc)
+			cls := fmt.Sprintf("GenShape%d", s)
+			cur = cur.IfThen(hit, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+				o := th.New(cls)
+				th.PutField(o, "GenShape", "acc", i)
+				th.ASet(shapes, i, o)
+				return th
+			})
+		}
+		return cur
+	})
+
+	acc := fill.ConstInt(int64(rng.Intn(1000)))
+	iters := fill.Move(bm.Param(0))
+	loop := fill.For(zero, iters, 1, func(fb *ir.BlockBuilder, it ir.Reg) *ir.BlockBuilder {
+		inner := fb.For(zero, count, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+			o := body.AGet(shapes, i)
+			arg := body.Arith(ir.Add, acc, i)
+			r := body.CallVirt("GenShape", "step", o, arg)
+			body.ArithTo(acc, ir.Add, acc, r)
+			return body
+		})
+		return inner
+	})
+
+	// Checksum pass: array reads plus a string round-trip, the access
+	// shapes the paging simulation cares about.
+	s := loop.Intrinsic(ir.IntrinsicItoa, acc)
+	ln := loop.Intrinsic(ir.IntrinsicStrLen, s)
+	loop.ArithTo(acc, ir.Add, acc, ln)
+	sum := loop.ConstInt(0)
+	fin := loop.For(zero, count, 1, func(body *ir.BlockBuilder, i ir.Reg) *ir.BlockBuilder {
+		o := body.AGet(shapes, i)
+		v := body.GetField(o, "GenShape", "acc")
+		body.ArithTo(sum, ir.Add, sum, v)
+		return body
+	})
+	fin.ArithTo(acc, ir.Add, acc, sum)
+	k := fin.ConstInt(0x7fffffff)
+	fin.Ret(fin.Arith(ir.And, acc, k))
+}

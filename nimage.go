@@ -40,6 +40,7 @@ import (
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
 	"nimage/internal/textviz"
+	"nimage/internal/verify"
 	"nimage/internal/vm"
 	"nimage/internal/workloads"
 )
@@ -326,6 +327,36 @@ func AllWorkloads() []Workload { return workloads.All() }
 
 // WorkloadByName looks a workload up by figure name.
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// Equivalence verification.
+//
+// The verifier checks that profile-guided reordering is semantics-
+// preserving: for every workload × strategy it builds the baseline,
+// instrumented, and optimized images, runs them all, and asserts identical
+// observable behavior (output, instruction counts, journaled mutations of
+// build-time state); it further asserts that the optimized image is a pure
+// permutation of an unreordered build of the same compilation, and that
+// feeding an image's own layout back as its profile reproduces the image
+// (and its fault counts) exactly. See `nimage verify`.
+
+// VerifyOptions configures a verification run.
+type VerifyOptions = verify.Options
+
+// VerifyReport is the outcome: the checks evaluated and any divergences.
+type VerifyReport = verify.Report
+
+// VerifyDivergence is one failed equivalence check.
+type VerifyDivergence = verify.Divergence
+
+// Verify runs the equivalence verifier.
+func Verify(opts VerifyOptions) (*VerifyReport, error) { return verify.Run(opts) }
+
+// VerifyStrategies lists the strategies the verifier covers by default.
+func VerifyStrategies() []string { return verify.Strategies() }
+
+// GeneratedWorkload returns the seeded random workload the verifier (and
+// `nimage verify -seeds`) uses for generative testing.
+func GeneratedWorkload(seed uint64) Workload { return workloads.Generated(seed) }
 
 // Evaluation harness (Sec. 7).
 
