@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|report] [-workloads Bounce,micronaut]
+//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|serve|report] [-workloads Bounce,micronaut]
 //	            [-builds N] [-iters N] [-device ssd|nfs] [-out output]
 package main
 
@@ -89,7 +89,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("nimage-eval", flag.ContinueOnError)
-	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|report")
+	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|serve|report")
 	builds := fs.Int("builds", 3, "images per strategy (paper: 10)")
 	iters := fs.Int("iters", 3, "cold runs per image (paper: 10)")
 	device := fs.String("device", "ssd", "storage device: ssd|nfs")
@@ -250,6 +250,30 @@ func run(args []string) error {
 			fmt.Printf("wrote %s\n", path)
 		}
 		fmt.Println()
+		return nil
+	})
+	run("serve", func() error {
+		// Serve-mode comparison: warm-burst latency and re-fault volume per
+		// layout under mild and severe inter-burst pressure.
+		ws := filterWorkloads(workloads.Serve(), keep)
+		if len(ws) == 0 {
+			fmt.Printf("serve: no selected workloads, skipped\n\n")
+			return nil
+		}
+		for _, p := range []int{30, 70} {
+			scfg := eval.DefaultServeConfig()
+			scfg.PressurePct = p
+			lat := func() (*eval.Table, error) { return h.ServeLatencyTable(ws, scfg, nil) }
+			ref := func() (*eval.Table, error) { return h.ServeRefaultTable(ws, scfg, nil) }
+			if err := table(fmt.Sprintf("serve-latency-p%d", p),
+				fmt.Sprintf("serve-latency-p%d.csv", p), lat); err != nil {
+				return err
+			}
+			if err := table(fmt.Sprintf("serve-refaults-p%d", p),
+				fmt.Sprintf("serve-refaults-p%d.csv", p), ref); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	run("report", func() error {

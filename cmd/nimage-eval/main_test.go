@@ -86,6 +86,41 @@ func TestRunReportFiltered(t *testing.T) {
 	}
 }
 
+// TestRunServeFiltered smoke-tests the serve figure: latency and re-fault
+// tables must land for both pressure levels, with geomeans in the
+// benchmark-baseline document.
+func TestRunServeFiltered(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "BENCH_baseline.json")
+	err := run([]string{
+		"-figure", "serve", "-workloads", "serve-api",
+		"-builds", "1", "-iters", "1",
+		"-out", dir, "-bench", bench,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"serve-latency-p30.csv", "serve-refaults-p30.csv",
+		"serve-latency-p70.csv", "serve-refaults-p70.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("figure CSV %s missing: %v", f, err)
+		}
+	}
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Figures["serve-latency-p30"]) == 0 || len(doc.Figures["serve-latency-p70"]) == 0 {
+		t.Fatalf("no serve geomeans recorded: %+v", doc.Figures)
+	}
+}
+
 // TestRunRejectsUnknownWorkload: filter names must resolve.
 func TestRunRejectsUnknownWorkload(t *testing.T) {
 	if err := run([]string{"-figure", "2", "-workloads", "NoSuch", "-out", t.TempDir(), "-bench", ""}); err == nil {

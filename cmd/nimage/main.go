@@ -7,6 +7,7 @@
 //	nimage info
 //	nimage build   -workload Bounce [-kind regular|instrumented|optimized] [-seed N] [-report out.json]
 //	nimage run     -workload Bounce [-strategy cu] [-device ssd|nfs] [-iters N] [-report out.json]
+//	nimage serve   -workload serve-api [-strategy cu] [-bursts N] [-burst N] [-pressure PCT] [-budget PAGES] [-report out.json]
 //	nimage profile -workload Bounce -strategy "heap path" [-out profile.csv] [-trace trace.bin]
 //	nimage order   -workload Bounce [-seed N]
 //	nimage report  -workloads Bounce,micronaut [-strategies "cu,heap path"] [-o report.json] [-artifacts dir]
@@ -39,6 +40,8 @@ func main() {
 		err = cmdBuild(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
 	case "order":
@@ -75,6 +78,7 @@ commands:
   info      list workloads and their compiled-world sizes
   build     build one image and print its layout
   run       build and run images cold, print page faults and times
+  serve     drive request bursts under cache pressure, print burst telemetry
   profile   run the profile-guided pipeline, write ordering profiles
   order     print the per-strategy object match breakdown across builds
   report    run an observed evaluation, write a consolidated report.json

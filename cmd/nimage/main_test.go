@@ -47,6 +47,42 @@ func TestCmdRun(t *testing.T) {
 	}
 }
 
+func TestCmdServe(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "serve.json")
+	if err := cmdServe([]string{"-workload", "serve-api", "-bursts", "2", "-burst", "6", "-pressure", "40", "-report", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema  string `json:"schema"`
+		Entries []struct {
+			Serve []any `json:"serve"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Schema != "nimage.report/v3" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Entries) == 0 || len(rep.Entries[0].Serve) == 0 {
+		t.Fatalf("report carries no serve outcomes: %+v", rep)
+	}
+	if err := cmdServe([]string{"-workload", "serve-cache", "-bursts", "2", "-burst", "4", "-budget", "64", "-policy", "clock"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdServe([]string{"-workload", "serve-api", "-policy", "bogus"}); err == nil {
+		t.Fatal("unknown eviction policy accepted")
+	}
+	if err := cmdServe([]string{"-workload", "Sieve"}); err == nil {
+		t.Fatal("non-serve workload accepted")
+	}
+}
+
 func TestCmdProfileWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "prof.csv")

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nimage"
+)
+
+// cmdServe runs a serve-mode scenario: startup, then request bursts with
+// page-cache pressure between them, printing the per-burst telemetry
+// table and warm-burst aggregates.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	name := fs.String("workload", "serve-api", "serve workload: serve-api|serve-cache")
+	strategy := fs.String("strategy", "", "serve an optimized layout (empty = regular build)")
+	device := fs.String("device", "ssd", "storage device: ssd|nfs")
+	bursts := fs.Int("bursts", 5, "request bursts after startup (burst 0 is cold)")
+	burst := fs.Int("burst", 24, "requests per burst")
+	pressure := fs.Int("pressure", 50, "percent of resident pages reclaimed between bursts")
+	budget := fs.Int("budget", 0, "resident-page budget in pages (0 = unlimited)")
+	policy := fs.String("policy", "lru", "eviction policy: lru|clock")
+	hotPct := fs.Int("hot-pct", 80, "percent of requests hitting the hot routes")
+	hotRoutes := fs.Int("hot-routes", 4, "size of the hot route set")
+	seed := fs.Uint64("seed", 0, "request-stream seed (0 = default)")
+	report := fs.String("report", "", "write a nimage.report/v3 JSON document to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := nimage.WorkloadByName(*name)
+	if err != nil {
+		return err
+	}
+
+	cfg := nimage.DefaultEvalConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	cfg.Observe = *report != ""
+	if *device == "nfs" {
+		cfg.Device = nimage.NFS()
+	}
+	scfg := nimage.ServeConfig{
+		Bursts:      *bursts,
+		BurstSize:   *burst,
+		PressurePct: *pressure,
+		CacheBudget: *budget,
+		HotPct:      *hotPct,
+		HotRoutes:   *hotRoutes,
+		Seed:        *seed,
+	}
+	switch *policy {
+	case "lru":
+		scfg.Policy = nimage.EvictLRU
+	case "clock":
+		scfg.Policy = nimage.EvictClock
+	default:
+		return fmt.Errorf("unknown eviction policy %q", *policy)
+	}
+
+	h := nimage.NewHarness(cfg)
+	outs, err := h.MeasureServe(w, *strategy, scfg)
+	if err != nil {
+		return err
+	}
+	o := outs[0]
+
+	fmt.Printf("%s (%s layout, %s, %d bursts × %d requests, %d%% pressure",
+		w.Name, o.Strategy, cfg.Device.Name, len(o.Bursts), scfg.BurstSize, *pressure)
+	if *budget > 0 {
+		fmt.Printf(", budget %d pages (%s)", *budget, *policy)
+	}
+	fmt.Println(")")
+	fmt.Printf("  startup (time to first response): %.3fms\n", o.StartupNanos/1e6)
+	rows := make([]nimage.BurstRowText, 0, len(o.Bursts))
+	for _, b := range o.Bursts {
+		rows = append(rows, nimage.BurstRowText{
+			Burst: b.Burst, Requests: b.Requests,
+			P50Nanos: b.P50Nanos, P99Nanos: b.P99Nanos,
+			MajorFaults: b.MajorFaults, MinorFaults: b.MinorFaults,
+			Refaults: b.Refaults, EvictedPages: b.EvictedPages,
+			ResidentText: b.ResidentText, ResidentHeap: b.ResidentHeap,
+		})
+	}
+	fmt.Print(nimage.BurstTableText("per-burst telemetry:", rows))
+	fmt.Printf("  warm bursts: mean %.3fµs, p99 %.3fµs; run totals: %d pages evicted, %d re-faulted\n",
+		o.WarmMeanNanos/1e3, o.WarmP99Nanos/1e3, o.EvictedPages, o.RefaultPages)
+
+	if *report != "" {
+		var strategies []string
+		if *strategy != "" {
+			strategies = []string{*strategy}
+		}
+		rep, err := h.ServeReport(w, strategies, scfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote serve report to %s\n", *report)
+	}
+	return nil
+}

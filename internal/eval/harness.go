@@ -114,6 +114,8 @@ type Harness struct {
 	progs      map[string]*ir.Program
 	baseCache  map[string]*BaselineOutcome
 	stratCache map[string]*StrategyOutcome
+	serveCache map[string][]*ServeOutcome
+	serveImgs  map[string]*image.Image
 
 	sched sched
 }
@@ -125,6 +127,8 @@ func NewHarness(cfg Config) *Harness {
 		progs:      make(map[string]*ir.Program),
 		baseCache:  make(map[string]*BaselineOutcome),
 		stratCache: make(map[string]*StrategyOutcome),
+		serveCache: make(map[string][]*ServeOutcome),
+		serveImgs:  make(map[string]*image.Image),
 	}
 }
 

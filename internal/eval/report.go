@@ -13,10 +13,11 @@ import (
 	"nimage/internal/workloads"
 )
 
-// ReportSchema versions the consolidated run-report document. v2 adds the
+// ReportSchema versions the consolidated run-report document. v2 added the
 // per-entry fault attribution table (merged over all builds × iterations)
-// and the per-measure attribution tables inside Runs.
-const ReportSchema = "nimage.report/v2"
+// and the per-measure attribution tables inside Runs; v3 adds the optional
+// per-entry serve-mode outcomes (burst telemetry under cache pressure).
+const ReportSchema = "nimage.report/v3"
 
 // Report is the consolidated observability document the evaluation emits:
 // per workload and strategy, the build-pipeline snapshots (stage spans,
@@ -61,6 +62,9 @@ type ReportEntry struct {
 	// HeapMatch is the object match breakdown of the last optimized build;
 	// nil for the baseline and for pure code strategies.
 	HeapMatch *core.MatchBreakdown `json:"heap_match,omitempty"`
+	// Serve holds the serve-mode outcomes (one per build) when the entry
+	// was produced by the serve protocol; nil for cold-start entries.
+	Serve []*ServeOutcome `json:"serve,omitempty"`
 }
 
 // Report measures every workload against every strategy (plus baseline)
@@ -119,6 +123,52 @@ func (h *Harness) Report(ws []workloads.Workload, strategies []string) (*Report,
 			}
 			rep.Entries = append(rep.Entries, e)
 		}
+	}
+	return rep, nil
+}
+
+// ServeReport measures one serve workload under the baseline and the given
+// strategies and assembles a consolidated v3 document: one entry per
+// layout, carrying the per-build serve outcomes (with their obs snapshots
+// in Runs and the attribution merged across builds).
+func (h *Harness) ServeReport(w workloads.Workload, strategies []string, scfg ServeConfig) (*Report, error) {
+	rep := &Report{
+		Schema:     ReportSchema,
+		Device:     h.Cfg.Device.Name,
+		Builds:     h.Cfg.Builds,
+		Iterations: 1,
+		Workers:    h.Workers(),
+	}
+	for _, s := range append([]string{LayoutBaseline}, strategies...) {
+		outs, err := h.MeasureServe(w, s, scfg)
+		if err != nil {
+			return nil, err
+		}
+		e := ReportEntry{
+			Workload: w.Name,
+			Service:  true,
+			Serve:    make([]*ServeOutcome, 0, len(outs)),
+		}
+		if s != LayoutBaseline {
+			e.Strategy = s
+		}
+		var tabs []*attrib.Table
+		for _, o := range outs {
+			oc := *o
+			if oc.Report != nil {
+				e.Runs = append(e.Runs, oc.Report)
+				oc.Report = nil
+			}
+			if oc.Attrib != nil {
+				tabs = append(tabs, oc.Attrib)
+				oc.Attrib = nil
+			}
+			e.Serve = append(e.Serve, &oc)
+		}
+		if len(tabs) > 0 {
+			e.Attribution = attrib.Merge(tabs...)
+		}
+		rep.Entries = append(rep.Entries, e)
 	}
 	return rep, nil
 }

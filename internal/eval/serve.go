@@ -1,0 +1,513 @@
+package eval
+
+// Serve-mode measurement: startup followed by request bursts against a
+// long-lived process, with page-cache pressure applied between bursts.
+// Where the cold-start protocol (harness.go) asks "how many faults until
+// the first response", the serve protocol asks "what does a layout cost
+// per warm burst once the kernel has started evicting its pages" — the
+// steady-state counterpart of Sec. 7's startup figures. Latency here is
+// simulated request time (CPU cycles plus fault I/O), so results are
+// bit-deterministic like everything else in the harness.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"nimage/internal/core"
+	"nimage/internal/heap"
+	"nimage/internal/image"
+	"nimage/internal/murmur"
+	"nimage/internal/obs"
+	"nimage/internal/obs/attrib"
+	"nimage/internal/osim"
+	"nimage/internal/profiler"
+	"nimage/internal/vm"
+	"nimage/internal/workloads"
+)
+
+// ServeConfig tunes one serve-mode scenario.
+type ServeConfig struct {
+	// Bursts is the number of request bursts after startup; burst 0 is the
+	// cold burst, bursts 1.. are the warm bursts the figures aggregate.
+	Bursts int `json:"bursts"`
+	// BurstSize is the number of requests per burst.
+	BurstSize int `json:"burst_size"`
+	// PressurePct reclaims this percentage of the resident pages between
+	// bursts (inter-burst memory pressure from other tenants). 0 disables.
+	PressurePct int `json:"pressure_pct"`
+	// CacheBudget bounds the resident pages of the whole OS (0: unlimited);
+	// the budget is enforced on every fault under the eviction policy.
+	CacheBudget int `json:"cache_budget,omitempty"`
+	// Policy is the page-replacement policy (LRU by default).
+	Policy osim.EvictionPolicy `json:"policy,omitempty"`
+	// HotPct percent of requests go to the HotRoutes first routes; the rest
+	// spread uniformly over all routes. Models working-set skew.
+	HotPct    int `json:"hot_pct"`
+	HotRoutes int `json:"hot_routes"`
+	// Seed drives the deterministic request stream.
+	Seed uint64 `json:"seed"`
+}
+
+// DefaultServeConfig returns the serve-mode defaults: five bursts of 24
+// requests, half the resident set reclaimed between bursts, 80% of the
+// traffic on 4 hot routes.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Bursts:      5,
+		BurstSize:   24,
+		PressurePct: 50,
+		HotPct:      80,
+		HotRoutes:   4,
+		Seed:        0x53127e,
+	}
+}
+
+// withDefaults fills unset knobs so a zero-valued config is usable and the
+// memoization key is canonical.
+func (c ServeConfig) withDefaults() ServeConfig {
+	d := DefaultServeConfig()
+	if c.Bursts <= 0 {
+		c.Bursts = d.Bursts
+	}
+	if c.BurstSize <= 0 {
+		c.BurstSize = d.BurstSize
+	}
+	if c.HotRoutes <= 0 {
+		c.HotRoutes = d.HotRoutes
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// key canonicalizes the config for memoization.
+func (c ServeConfig) key() string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d/%d",
+		c.Bursts, c.BurstSize, c.PressurePct, c.CacheBudget, c.Policy,
+		c.HotPct, c.HotRoutes, c.Seed)
+}
+
+// BurstMeasure is the telemetry of one request burst. The eviction count
+// includes the inter-burst pressure that preceded the burst — the cost a
+// burst inherits — while faults, re-faults and I/O are strictly the
+// burst's own.
+type BurstMeasure struct {
+	Burst    int `json:"burst"`
+	Requests int `json:"requests"`
+	// Request latency quantiles (simulated nanoseconds, exact nearest-rank
+	// over the burst's samples).
+	P50Nanos  float64 `json:"p50_nanos"`
+	P90Nanos  float64 `json:"p90_nanos"`
+	P99Nanos  float64 `json:"p99_nanos"`
+	MeanNanos float64 `json:"mean_nanos"`
+	// Fault traffic of the burst.
+	MajorFaults int64 `json:"major_faults"`
+	MinorFaults int64 `json:"minor_faults"`
+	Refaults    int64 `json:"refaults"`
+	IONanos     int64 `json:"io_nanos"`
+	// EvictedPages counts evictions since the previous burst ended
+	// (pressure before the burst plus budget evictions during it).
+	EvictedPages int64 `json:"evicted_pages"`
+	// Section residency at the end of the burst.
+	ResidentText int `json:"resident_text"`
+	ResidentHeap int `json:"resident_heap"`
+}
+
+// ServeOutcome is one build's serve-mode run: startup, then the bursts.
+type ServeOutcome struct {
+	Workload string      `json:"workload"`
+	Strategy string      `json:"strategy"`
+	Config   ServeConfig `json:"config"`
+	// StartupNanos is the time to the first response (startup phase).
+	StartupNanos float64        `json:"startup_nanos"`
+	Bursts       []BurstMeasure `json:"bursts"`
+	// Warm aggregates over the warm bursts (1..): mean and exact p99 of all
+	// warm request latencies.
+	WarmMeanNanos float64 `json:"warm_mean_nanos"`
+	WarmP99Nanos  float64 `json:"warm_p99_nanos"`
+	// Run totals: pages evicted and re-faulted over the whole run.
+	EvictedPages int64 `json:"evicted_pages"`
+	RefaultPages int64 `json:"refault_pages"`
+	// Attrib is the per-symbol fault/eviction attribution; Report the obs
+	// snapshot (serve.latency_nanos histogram, serve.burst timeline). Both
+	// nil unless the harness observes.
+	Attrib *attrib.Table `json:"attrib,omitempty"`
+	Report *obs.Snapshot `json:"report,omitempty"`
+}
+
+// routeFor derives request k's route deterministically from the seed:
+// HotPct percent of requests hit the HotRoutes first routes, the rest
+// spread over all of them.
+func routeFor(k int, cfg ServeConfig, routes int) int {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(k))
+	h := murmur.Sum64Seed(buf[:], cfg.Seed)
+	hot := cfg.HotRoutes
+	if hot <= 0 || hot > routes {
+		hot = routes
+	}
+	if int(h%100) < cfg.HotPct {
+		return int((h / 100) % uint64(hot))
+	}
+	return int((h / 100) % uint64(routes))
+}
+
+// quantileExact returns the exact nearest-rank quantile of a sorted
+// sample (unlike obs histogram quantiles, which interpolate buckets).
+func quantileExact(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// MeasureServe runs the serve scenario for one workload and strategy
+// (LayoutBaseline or "" for unmodified images) over every build seed and
+// returns one outcome per build. Results are memoized per (workload,
+// strategy, config); images are additionally memoized per (workload,
+// strategy, build) so pressure sweeps rebuild nothing.
+func (h *Harness) MeasureServe(w workloads.Workload, strategy string, scfg ServeConfig) ([]*ServeOutcome, error) {
+	if w.Serve == nil {
+		return nil, fmt.Errorf("eval: workload %s has no serve spec", w.Name)
+	}
+	scfg = scfg.withDefaults()
+	if strategy == "" {
+		strategy = LayoutBaseline
+	}
+	key := w.Name + "\x00" + strategy + "\x00" + scfg.key()
+	if o := h.cachedServe(key); o != nil {
+		return o, nil
+	}
+	err := h.once("serve\x00"+key, func() error {
+		if h.cachedServe(key) != nil {
+			return nil
+		}
+		out, err := h.measureServe(w, strategy, scfg)
+		if err != nil {
+			return err
+		}
+		h.mu.Lock()
+		h.serveCache[key] = out
+		h.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h.cachedServe(key), nil
+}
+
+func (h *Harness) cachedServe(key string) []*ServeOutcome {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.serveCache[key]
+}
+
+// measureServe fans the builds out across the worker pool; the outcome
+// slice is indexed by build, so results are bit-identical for every worker
+// count (the determinism contract of scheduler.go).
+func (h *Harness) measureServe(w workloads.Workload, strategy string, scfg ServeConfig) ([]*ServeOutcome, error) {
+	out := make([]*ServeOutcome, h.Cfg.Builds)
+	err := h.forEach(h.Cfg.Builds, func(bld int) error {
+		h.sched.buildTasks.Add(1)
+		img, err := h.serveImage(w, strategy, bld)
+		if err != nil {
+			return err
+		}
+		o, err := h.serveRun(img, w, strategy, scfg)
+		if err != nil {
+			return err
+		}
+		out[bld] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// serveImage builds (once per workload/strategy/build — shared by every
+// pressure level) the image a serve run executes.
+func (h *Harness) serveImage(w workloads.Workload, strategy string, bld int) (*image.Image, error) {
+	key := fmt.Sprintf("simg\x00%s\x00%s\x00%d", w.Name, strategy, bld)
+	if img := h.cachedServeImg(key); img != nil {
+		return img, nil
+	}
+	err := h.once(key, func() error {
+		if h.cachedServeImg(key) != nil {
+			return nil
+		}
+		p := h.Program(w)
+		var img *image.Image
+		if strategy == LayoutBaseline {
+			built, err := image.Build(p, image.Options{
+				Kind: image.KindRegular, Compiler: h.Cfg.Compiler, BuildSeed: baselineSeed(bld),
+			})
+			if err != nil {
+				return fmt.Errorf("eval: serve baseline build of %s: %w", w.Name, err)
+			}
+			img = built
+		} else {
+			res, err := image.BuildOptimized(p, image.PipelineOptions{
+				Compiler:         h.Cfg.Compiler,
+				Strategy:         strategy,
+				InstrumentedSeed: instrumentedSeed(bld),
+				OptimizedSeed:    optimizedSeed(bld),
+				// Serve workloads are services: durable buffers (Sec. 6.1).
+				Mode:    profiler.MemoryMapped,
+				Args:    w.Args,
+				Service: true,
+			})
+			if err != nil {
+				return fmt.Errorf("eval: serve %s/%s: %w", w.Name, strategy, err)
+			}
+			img = res.Optimized
+		}
+		h.mu.Lock()
+		h.serveImgs[key] = img
+		h.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h.cachedServeImg(key), nil
+}
+
+func (h *Harness) cachedServeImg(key string) *image.Image {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.serveImgs[key]
+}
+
+// serveRun executes one serve scenario: cold startup to the first
+// response, then the request bursts with inter-burst pressure. One request
+// is one RunMethod call on the dispatch entry (StopOnRespond stops the
+// machine at the request's respond intrinsic); its latency is the
+// simulated CPU delta plus the fault I/O it incurred.
+func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy string, scfg ServeConfig) (*ServeOutcome, error) {
+	cls := img.Program.Class(w.Serve.DispatchClass)
+	if cls == nil {
+		return nil, fmt.Errorf("eval: serve %s: dispatch class %s missing", w.Name, w.Serve.DispatchClass)
+	}
+	meth := cls.LookupMethod(w.Serve.DispatchMethod)
+	if meth == nil || !meth.Static || meth.NParams != 1 {
+		return nil, fmt.Errorf("eval: serve %s: dispatch method %s.%s must be static with one parameter",
+			w.Name, w.Serve.DispatchClass, w.Serve.DispatchMethod)
+	}
+
+	o := h.newOS()
+	o.CacheBudget = scfg.CacheBudget
+	o.Policy = scfg.Policy
+	if h.Cfg.Observe {
+		o.Obs = obs.NewRegistry()
+	}
+	proc, err := img.NewProcess(o, vm.Hooks{})
+	if err != nil {
+		return nil, err
+	}
+	proc.Machine.StopOnRespond = true
+	if err := proc.Run(w.Args...); err != nil {
+		proc.Close()
+		return nil, fmt.Errorf("eval: serve startup of %s: %w", w.Name, err)
+	}
+	st := proc.Stats()
+	if st.TimeToResponse <= 0 {
+		proc.Close()
+		return nil, fmt.Errorf("eval: serve %s never responded during startup", w.Name)
+	}
+	f, err := img.File(o)
+	if err != nil {
+		proc.Close()
+		return nil, err
+	}
+
+	var latHist *obs.Histogram
+	var burstTl *obs.Timeline
+	if o.Obs.Enabled() {
+		latHist = o.Obs.Histogram("serve.latency_nanos", obs.LatencyBuckets())
+		burstTl = o.Obs.Timeline("serve.burst",
+			"requests", "p50_nanos", "p99_nanos", "major", "minor",
+			"refaults", "evicted", "resident_text", "resident_heap")
+	}
+
+	out := &ServeOutcome{
+		Workload:     w.Name,
+		Strategy:     strategy,
+		Config:       scfg,
+		StartupNanos: float64(st.TimeToResponse.Nanoseconds()),
+	}
+	var warm, all []float64
+	req := 0
+	for b := 0; b < scfg.Bursts; b++ {
+		evict0 := f.EvictedPages()
+		if b > 0 && scfg.PressurePct > 0 {
+			o.ReclaimFraction(scfg.PressurePct)
+		}
+		faults0 := proc.Mapping.Faults
+		major0 := proc.Mapping.MajorFaults
+		refault0 := proc.Mapping.Refaults
+		io0 := proc.Mapping.IOTime
+		lats := make([]float64, 0, scfg.BurstSize)
+		for i := 0; i < scfg.BurstSize; i++ {
+			route := routeFor(req, scfg, w.Serve.Routes)
+			req++
+			t0 := proc.Machine.SimTimeNanos()
+			d0 := proc.Mapping.IOTime
+			if _, err := proc.Machine.RunMethod(meth, heap.IntVal(int64(route))); err != nil {
+				proc.Close()
+				return nil, fmt.Errorf("eval: serve %s burst %d request %d: %w", w.Name, b, i, err)
+			}
+			lat := (proc.Machine.SimTimeNanos() - t0) +
+				float64((proc.Mapping.IOTime - d0).Nanoseconds())
+			lats = append(lats, lat)
+			if latHist != nil {
+				latHist.Observe(lat)
+			}
+		}
+		sort.Float64s(lats)
+		major := proc.Mapping.MajorFaults - major0
+		bm := BurstMeasure{
+			Burst:        b,
+			Requests:     len(lats),
+			P50Nanos:     quantileExact(lats, 0.50),
+			P90Nanos:     quantileExact(lats, 0.90),
+			P99Nanos:     quantileExact(lats, 0.99),
+			MeanNanos:    Mean(lats),
+			MajorFaults:  major,
+			MinorFaults:  (proc.Mapping.Faults - faults0) - major,
+			Refaults:     proc.Mapping.Refaults - refault0,
+			IONanos:      (proc.Mapping.IOTime - io0).Nanoseconds(),
+			EvictedPages: f.EvictedPages() - evict0,
+			ResidentText: f.ResidentInSection(image.SectionText),
+			ResidentHeap: f.ResidentInSection(image.SectionHeap),
+		}
+		out.Bursts = append(out.Bursts, bm)
+		if burstTl != nil {
+			burstTl.Record(fmt.Sprintf("burst-%d", b),
+				int64(bm.Requests), int64(bm.P50Nanos), int64(bm.P99Nanos),
+				bm.MajorFaults, bm.MinorFaults, bm.Refaults, bm.EvictedPages,
+				int64(bm.ResidentText), int64(bm.ResidentHeap))
+		}
+		all = append(all, lats...)
+		if b >= 1 {
+			warm = append(warm, lats...)
+		}
+	}
+	if len(warm) == 0 {
+		// Single-burst configs: the cold burst is all there is.
+		warm = all
+	}
+	sort.Float64s(warm)
+	out.WarmMeanNanos = Mean(warm)
+	out.WarmP99Nanos = quantileExact(warm, 0.99)
+	out.EvictedPages = f.EvictedPages()
+	out.RefaultPages = f.RefaultedPages()
+	if tab := proc.AttributionTable(); tab != nil {
+		tab.Layout = strategy
+		out.Attrib = tab
+	}
+	proc.Close()
+	if o.Obs != nil {
+		out.Report = o.Obs.Snapshot()
+	}
+	return out, nil
+}
+
+// ServeStrategies are the layouts the serve figures compare: the text-side
+// orderer, the heap-side orderer, and their combination — the three
+// distinct churn surfaces of a serve-mode binary.
+func ServeStrategies() []string {
+	return []string{core.StrategyCU, core.StrategyHeapPath, core.StrategyCombined}
+}
+
+// ServeLatencyTable compares warm-burst mean latency (baseline / strategy,
+// >1 means the layout is faster) per serve workload under one pressure
+// level. A nil workload set means every serve workload; nil strategies
+// mean ServeStrategies().
+func (h *Harness) ServeLatencyTable(ws []workloads.Workload, scfg ServeConfig, strategies []string) (*Table, error) {
+	return h.serveTable(
+		fmt.Sprintf("Serve warm-burst latency (pressure %d%%)", scfg.withDefaults().PressurePct),
+		"warm-burst latency speedup", ws, scfg, strategies,
+		func(o *ServeOutcome) float64 { return o.WarmMeanNanos })
+}
+
+// ServeRefaultTable compares total re-faulted pages (baseline / strategy,
+// >1 means the layout re-faults less) per serve workload under one
+// pressure level.
+func (h *Harness) ServeRefaultTable(ws []workloads.Workload, scfg ServeConfig, strategies []string) (*Table, error) {
+	return h.serveTable(
+		fmt.Sprintf("Serve re-fault volume (pressure %d%%)", scfg.withDefaults().PressurePct),
+		"re-fault reduction", ws, scfg, strategies,
+		func(o *ServeOutcome) float64 { return float64(o.RefaultPages) })
+}
+
+func (h *Harness) serveTable(title, metric string, ws []workloads.Workload, scfg ServeConfig, strategies []string, val func(*ServeOutcome) float64) (*Table, error) {
+	if ws == nil {
+		ws = workloads.Serve()
+	}
+	if strategies == nil {
+		strategies = ServeStrategies()
+	}
+	t := &Table{Title: title, Metric: metric, Strategies: strategies}
+	for _, w := range ws {
+		base, err := h.MeasureServe(w, LayoutBaseline, scfg)
+		if err != nil {
+			return nil, err
+		}
+		var bs []float64
+		for _, o := range base {
+			bs = append(bs, val(o))
+		}
+		for _, s := range strategies {
+			opt, err := h.MeasureServe(w, s, scfg)
+			if err != nil {
+				return nil, err
+			}
+			var os []float64
+			for _, o := range opt {
+				os = append(os, val(o))
+			}
+			t.Cells = append(t.Cells, FactorCell(w.Name, s, bs, os))
+		}
+	}
+	t.AddGeoMean()
+	t.SortCells()
+	return t, nil
+}
+
+// ServeFigure produces the serve-mode comparison: per pressure level, a
+// warm-burst latency table and a re-fault volume table. The default
+// pressure levels (30% and 70%) bracket mild and severe inter-burst
+// reclaim.
+func (h *Harness) ServeFigure(pressures []int) ([]*Table, error) {
+	if len(pressures) == 0 {
+		pressures = []int{30, 70}
+	}
+	var out []*Table
+	for _, p := range pressures {
+		scfg := DefaultServeConfig()
+		scfg.PressurePct = p
+		lt, err := h.ServeLatencyTable(nil, scfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := h.ServeRefaultTable(nil, scfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lt, rt)
+	}
+	return out, nil
+}

@@ -1,0 +1,348 @@
+package eval
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nimage/internal/core"
+	"nimage/internal/workloads"
+)
+
+func serveTestConfig() ServeConfig {
+	return ServeConfig{
+		Bursts: 3, BurstSize: 8, PressurePct: 60,
+		HotPct: 80, HotRoutes: 3, Seed: 7,
+	}
+}
+
+func serveWorkload(t *testing.T, name string) workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestMeasureServeBaseline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	h := NewHarness(cfg)
+	w := serveWorkload(t, "serve-api")
+	scfg := serveTestConfig()
+	outs, err := h.MeasureServe(w, "", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("got %d outcomes, want 1 per build", len(outs))
+	}
+	o := outs[0]
+	if o.Strategy != LayoutBaseline {
+		t.Errorf("strategy = %q, want %q", o.Strategy, LayoutBaseline)
+	}
+	if o.StartupNanos <= 0 {
+		t.Errorf("startup nanos = %v", o.StartupNanos)
+	}
+	if len(o.Bursts) != scfg.Bursts {
+		t.Fatalf("got %d bursts, want %d", len(o.Bursts), scfg.Bursts)
+	}
+	for i, b := range o.Bursts {
+		if b.Burst != i || b.Requests != scfg.BurstSize {
+			t.Errorf("burst %d: index %d requests %d", i, b.Burst, b.Requests)
+		}
+		if b.P50Nanos <= 0 || b.P99Nanos < b.P50Nanos || b.P90Nanos < b.P50Nanos {
+			t.Errorf("burst %d: quantiles p50=%v p90=%v p99=%v", i, b.P50Nanos, b.P90Nanos, b.P99Nanos)
+		}
+		if b.MinorFaults < 0 || b.MajorFaults < 0 {
+			t.Errorf("burst %d: negative fault counts", i)
+		}
+		if b.ResidentText <= 0 {
+			t.Errorf("burst %d: no resident .text pages", i)
+		}
+	}
+	// The cold burst faults the handlers in.
+	if o.Bursts[0].MajorFaults == 0 {
+		t.Error("cold burst took no major faults")
+	}
+	// Inter-burst pressure must actually evict pages.
+	if o.EvictedPages == 0 {
+		t.Error("no pages evicted despite 60% inter-burst pressure")
+	}
+	var burstEvicted int64
+	for _, b := range o.Bursts {
+		burstEvicted += b.EvictedPages
+	}
+	// Without a cache budget nothing is evicted during startup, so the
+	// per-burst deltas must account for every eviction of the run.
+	if burstEvicted != o.EvictedPages {
+		t.Errorf("per-burst evictions %d != run total %d", burstEvicted, o.EvictedPages)
+	}
+	if o.WarmMeanNanos <= 0 || o.WarmP99Nanos < o.WarmMeanNanos {
+		t.Errorf("warm aggregates mean=%v p99=%v", o.WarmMeanNanos, o.WarmP99Nanos)
+	}
+}
+
+// TestServeReconciliation is the acceptance contract of the serve
+// telemetry: driving a full serve run with attribution attached, the
+// eviction and re-fault totals reported by the attribution recorder, the
+// osim file counters (surfaced in the outcome) and the per-burst deltas
+// must reconcile exactly.
+func TestServeReconciliation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	cfg.Observe = true
+	h := NewHarness(cfg)
+	w := serveWorkload(t, "serve-cache")
+	// A tight resident budget forces eviction churn during the bursts:
+	// every cold handler fault pushes some other route's pages out, so
+	// revisited routes re-fault.
+	scfg := ServeConfig{
+		Bursts: 3, BurstSize: 8, CacheBudget: 48,
+		HotPct: 0, HotRoutes: 1, Seed: 11,
+	}
+	outs, err := h.MeasureServe(w, "", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outs[0]
+	if o.EvictedPages == 0 {
+		t.Fatal("budget produced no evictions")
+	}
+	if o.RefaultPages == 0 {
+		t.Fatal("budget churn produced no re-faults")
+	}
+	if o.Attrib == nil {
+		t.Fatal("observed run carries no attribution table")
+	}
+	var attribEvicted, attribRefaults int64
+	for _, s := range o.Attrib.Sections {
+		attribEvicted += s.Evicted
+		attribRefaults += s.Refaults
+	}
+	if attribEvicted != o.EvictedPages {
+		t.Errorf("attribution evictions %d != file total %d", attribEvicted, o.EvictedPages)
+	}
+	if attribRefaults != o.RefaultPages {
+		t.Errorf("attribution refaults %d != file total %d", attribRefaults, o.RefaultPages)
+	}
+	// Per-burst re-fault deltas never exceed the run total (startup churn
+	// accounts for the rest).
+	var burstRefaults int64
+	for _, b := range o.Bursts {
+		burstRefaults += b.Refaults
+	}
+	if burstRefaults > o.RefaultPages {
+		t.Errorf("per-burst refaults %d exceed run total %d", burstRefaults, o.RefaultPages)
+	}
+	// The obs snapshot carries the burst timeline and latency histogram.
+	if o.Report == nil {
+		t.Fatal("observed run carries no snapshot")
+	}
+	foundTl, foundHist := false, false
+	for _, tl := range o.Report.Timelines {
+		if tl.Name == "serve.burst" {
+			foundTl = true
+			if len(tl.Events) != scfg.Bursts {
+				t.Errorf("burst timeline has %d events, want %d", len(tl.Events), scfg.Bursts)
+			}
+		}
+	}
+	for _, hp := range o.Report.Histograms {
+		if hp.Name == "serve.latency_nanos" {
+			foundHist = true
+			if hp.Count != int64(scfg.Bursts*scfg.BurstSize) {
+				t.Errorf("latency histogram count %d, want %d", hp.Count, scfg.Bursts*scfg.BurstSize)
+			}
+			if p99 := hp.Quantile(0.99); p99 <= 0 {
+				t.Errorf("latency p99 = %v", p99)
+			}
+		}
+	}
+	if !foundTl || !foundHist {
+		t.Fatalf("snapshot missing serve telemetry: timeline=%v histogram=%v", foundTl, foundHist)
+	}
+}
+
+func TestMeasureServeMemoized(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	h := NewHarness(cfg)
+	w := serveWorkload(t, "serve-api")
+	scfg := serveTestConfig()
+	a, err := h.MeasureServe(w, "", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := h.sched.buildTasks.Load()
+	b, err := h.MeasureServe(w, LayoutBaseline, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("second measurement did not hit the cache")
+	}
+	if got := h.sched.buildTasks.Load(); got != tasks {
+		t.Errorf("memoized measurement ran %d extra tasks", got-tasks)
+	}
+	// A different pressure level reuses the built image (no new pipeline),
+	// but runs a fresh scenario.
+	scfg2 := scfg
+	scfg2.PressurePct = 0
+	c, err := h.MeasureServe(w, "", scfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0].EvictedPages != 0 {
+		t.Errorf("pressure-free scenario evicted %d pages", c[0].EvictedPages)
+	}
+}
+
+func TestServeDeterministicAcrossWorkers(t *testing.T) {
+	w := serveWorkload(t, "serve-cache")
+	scfg := serveTestConfig()
+	var prev []*ServeOutcome
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Builds = 2
+		cfg.Iterations = 1
+		cfg.Workers = workers
+		h := NewHarness(cfg)
+		outs, err := h.MeasureServe(w, "", scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !reflect.DeepEqual(deref(prev), deref(outs)) {
+			t.Fatalf("outcomes differ between worker counts 1 and %d", workers)
+		}
+		prev = outs
+	}
+}
+
+func deref(outs []*ServeOutcome) []ServeOutcome {
+	vals := make([]ServeOutcome, len(outs))
+	for i, o := range outs {
+		vals[i] = *o
+	}
+	return vals
+}
+
+func TestServeLatencyTable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	h := NewHarness(cfg)
+	scfg := serveTestConfig()
+	tb, err := h.ServeLatencyTable(nil, scfg, []string{core.StrategyCU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nServe := len(workloads.Serve())
+	// One cell per serve workload plus the geomean row.
+	if len(tb.Cells) != nServe+1 {
+		t.Fatalf("got %d cells, want %d", len(tb.Cells), nServe+1)
+	}
+	for _, c := range tb.Cells {
+		if c.Strategy != core.StrategyCU {
+			t.Errorf("unexpected strategy %q", c.Strategy)
+		}
+		if !c.Degenerate && c.Factor <= 0 {
+			t.Errorf("cell %s/%s factor %v", c.Workload, c.Strategy, c.Factor)
+		}
+	}
+	if !strings.Contains(tb.Title, "pressure 60%") {
+		t.Errorf("title %q missing pressure level", tb.Title)
+	}
+}
+
+func TestServeReportV3(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	cfg.Observe = true
+	h := NewHarness(cfg)
+	w := serveWorkload(t, "serve-api")
+	rep, err := h.ServeReport(w, nil, serveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "nimage.report/v3" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Entries) != 1 {
+		t.Fatalf("got %d entries, want 1 (baseline only)", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.Strategy != "" || !e.Service {
+		t.Errorf("baseline entry strategy=%q service=%v", e.Strategy, e.Service)
+	}
+	if len(e.Serve) != cfg.Builds {
+		t.Fatalf("entry carries %d serve outcomes, want %d", len(e.Serve), cfg.Builds)
+	}
+	// Snapshots and attribution are hoisted out of the outcomes into the
+	// entry, like the cold-start report does with measures.
+	if len(e.Runs) != cfg.Builds || e.Attribution == nil {
+		t.Fatalf("runs=%d attribution=%v", len(e.Runs), e.Attribution != nil)
+	}
+	for _, o := range e.Serve {
+		if o.Report != nil || o.Attrib != nil {
+			t.Error("serve outcome still embeds its snapshot/attribution")
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"serve"`) {
+		t.Error("JSON document missing serve entries")
+	}
+}
+
+func TestRouteForSkew(t *testing.T) {
+	cfg := ServeConfig{HotPct: 100, HotRoutes: 3, Seed: 1}
+	for k := 0; k < 200; k++ {
+		if r := routeFor(k, cfg, 24); r >= 3 {
+			t.Fatalf("request %d routed to %d with 100%% hot traffic", k, r)
+		}
+	}
+	cfg.HotPct = 0
+	seen := map[int]bool{}
+	for k := 0; k < 500; k++ {
+		r := routeFor(k, cfg, 24)
+		if r < 0 || r >= 24 {
+			t.Fatalf("route %d out of range", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) < 12 {
+		t.Errorf("uniform traffic hit only %d/24 routes", len(seen))
+	}
+	// Deterministic in the seed.
+	if routeFor(42, cfg, 24) != routeFor(42, cfg, 24) {
+		t.Error("routeFor not deterministic")
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantileExact(s, 0.5); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := quantileExact(s, 0.99); got != 10 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := quantileExact(s, 0.1); got != 1 {
+		t.Errorf("p10 = %v", got)
+	}
+	if got := quantileExact(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := quantileExact([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton = %v", got)
+	}
+}

@@ -82,6 +82,7 @@ func (img *Image) NewProcess(o *osim.OS, extra vm.Hooks) (*Process, error) {
 	if o.Obs.Enabled() || o.AttributeFaults {
 		p.Attrib = attrib.NewRecorder(img.AttributionIndex())
 		p.Mapping.Observer = p.Attrib
+		p.Mapping.EvictObserver = p.Attrib
 	}
 
 	// Program startup maps the binary, reads the header page, and runs the
@@ -210,4 +211,7 @@ func (p *Process) Close() {
 		r.Gauge("run.snapshot_objects").Set(float64(st.SnapshotObjects))
 	}
 	p.Machine.Rollback()
+	// munmap: later cache evictions (or the next iteration's DropCaches)
+	// must not walk this dead process's page table or observers.
+	p.Mapping.Release()
 }

@@ -175,6 +175,15 @@ func ReadRecipe(rd io.Reader) (Recipe, error) {
 			return out, err
 		}
 	}
+	if fields[0] > uint64(KindOptimized) {
+		return out, fmt.Errorf("image: recipe build kind %d out of range", fields[0])
+	}
+	if fields[1] > uint64(graal.InstrHeap) {
+		return out, fmt.Errorf("image: recipe instrumentation %d out of range", fields[1])
+	}
+	if fields[2] > uint64(profiler.MemoryMapped) {
+		return out, fmt.Errorf("image: recipe dump mode %d out of range", fields[2])
+	}
 	out.Kind = BuildKind(fields[0])
 	out.Instr = graal.Instrumentation(fields[1])
 	out.Mode = profiler.DumpMode(fields[2])

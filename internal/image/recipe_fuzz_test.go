@@ -1,0 +1,143 @@
+package image
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"nimage/internal/core"
+	"nimage/internal/graal"
+)
+
+// recipeUvarints renders a byte sequence from varints (fuzz-input builder,
+// mirrors the ir codec's test helper).
+func recipeUvarints(prefix []byte, vs ...uint64) []byte {
+	out := append([]byte{}, prefix...)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range vs {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	return out
+}
+
+// validRecipeBytes serializes the recipe of a freshly built image.
+func validRecipeBytes(t testing.TB, optimized bool) []byte {
+	p := buildApp(t)
+	var img *Image
+	if optimized {
+		res, err := BuildOptimized(p, PipelineOptions{
+			Compiler:         graal.DefaultConfig(),
+			Strategy:         core.StrategyCombined,
+			InstrumentedSeed: 7,
+			OptimizedSeed:    9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img = res.Optimized
+	} else {
+		var err error
+		img, err = Build(p, regularOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteRecipe(&buf, RecipeOf(img)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadRecipeRejectsHostileInput covers the decoder's validation
+// paths: corrupted headers, out-of-range enum fields, and alloc-bomb
+// counts declared far beyond the bytes present.
+func TestReadRecipeRejectsHostileInput(t *testing.T) {
+	head := []byte(recipeMagic)
+	cases := map[string]struct {
+		data    []byte
+		wantErr string
+	}{
+		"empty":       {nil, "reading recipe header"},
+		"bad-magic":   {[]byte("XIMGgarbage"), "bad recipe magic"},
+		"bad-version": {recipeUvarints(head, 99), "unsupported recipe version"},
+		"kind-out-of-range": {recipeUvarints(head,
+			recipeVersion, 7, 0, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0), "build kind 7 out of range"},
+		"instr-out-of-range": {recipeUvarints(head,
+			recipeVersion, 0, 200, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0), "instrumentation 200 out of range"},
+		"mode-out-of-range": {recipeUvarints(head,
+			recipeVersion, 0, 0, 9, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0), "dump mode 9 out of range"},
+		// 15 header fields, then the heap-strategy string declares a
+		// gigabyte: must fail on the bound, not allocate.
+		"huge-strategy-string": {recipeUvarints(head,
+			recipeVersion, 0, 0, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+			1<<30), "implausible string length"},
+		"huge-code-profile": {recipeUvarints(head,
+			recipeVersion, 0, 0, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+			0,     // empty strategy name
+			1<<40, // code-profile count
+		), "implausible code-profile size"},
+		"huge-heap-profile": {recipeUvarints(head,
+			recipeVersion, 0, 0, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+			0,     // empty strategy name
+			0,     // no code profile
+			1<<40, // heap-profile count
+		), "implausible heap-profile size"},
+		"truncated-fields": {recipeUvarints(head, recipeVersion, 0, 0), "EOF"},
+	}
+	for name, tc := range cases {
+		_, err := ReadRecipe(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: hostile input accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// FuzzRecipe asserts the .nimg container decoder never panics, and that
+// any recipe it accepts re-encodes canonically: encode(decode(data)) must
+// be a fixed point of a further decode/encode round trip.
+func FuzzRecipe(f *testing.F) {
+	valid := validRecipeBytes(f, false)
+	f.Add(valid)
+	f.Add(validRecipeBytes(f, true))
+	f.Add(valid[:16])
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(recipeMagic))
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReadRecipe(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := WriteRecipe(&b1, r); err != nil {
+			t.Fatalf("re-encoding accepted recipe: %v", err)
+		}
+		r2, err := ReadRecipe(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := WriteRecipe(&b2, r2); err != nil {
+			t.Fatalf("re-encoding round-tripped recipe: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("recipe encoding is not canonical under round trip")
+		}
+	})
+}

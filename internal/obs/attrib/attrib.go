@@ -141,6 +141,12 @@ type SymbolFaults struct {
 	// paged in (fault-around / readahead) but never faulted — the waste a
 	// compact layout converts into useful prefetch.
 	ResidentUnusedBytes int64 `json:"resident_unused_bytes,omitempty"`
+	// Evicted counts evictions of pages overlapping the symbol (any
+	// cause); Refaults counts major faults that brought such a page back
+	// after a pressure or budget eviction — together they name the
+	// symbols churning through the page cache in serve mode.
+	Evicted  int64 `json:"evicted,omitempty"`
+	Refaults int64 `json:"refaults,omitempty"`
 }
 
 // SectionTotal is the attribution stream's per-section reconciliation
@@ -150,6 +156,11 @@ type SectionTotal struct {
 	Major   int64  `json:"major"`
 	Minor   int64  `json:"minor"`
 	IONanos int64  `json:"io_nanos"`
+	// Evicted counts pages of the section evicted from the page cache
+	// (reconciles with osim's File.EvictionsBySection); Refaults counts
+	// major faults re-reading a pressure- or budget-evicted page.
+	Evicted  int64 `json:"evicted,omitempty"`
+	Refaults int64 `json:"refaults,omitempty"`
 }
 
 // Total returns major+minor.
@@ -211,17 +222,21 @@ type Recorder struct {
 	counts    []SymbolFaults // parallel to ix.syms
 	bySection map[int]*SectionTotal
 	heat      []PageHeat // indexed by page; Count==0 means never faulted
-	ordinal   int64
-	finished  bool
+	// evictedPage mirrors osim's per-page re-fault tracking: set when a
+	// page is evicted under pressure or budget, cleared by DropCaches.
+	evictedPage []bool
+	ordinal     int64
+	finished    bool
 }
 
 // NewRecorder creates a recorder over the index.
 func NewRecorder(ix *Index) *Recorder {
 	r := &Recorder{
-		ix:        ix,
-		counts:    make([]SymbolFaults, len(ix.syms)),
-		bySection: make(map[int]*SectionTotal),
-		heat:      make([]PageHeat, ix.Pages()),
+		ix:          ix,
+		counts:      make([]SymbolFaults, len(ix.syms)),
+		bySection:   make(map[int]*SectionTotal),
+		heat:        make([]PageHeat, ix.Pages()),
+		evictedPage: make([]bool, ix.Pages()),
 	}
 	for i := range r.counts {
 		r.counts[i].Symbol = ix.syms[i]
@@ -255,6 +270,10 @@ func (r *Recorder) OnFault(ev osim.FaultEvent) {
 		}
 		h.Section = st.Section
 	}
+	refault := ev.Major && ev.Page >= 0 && ev.Page < len(r.evictedPage) && r.evictedPage[ev.Page]
+	if refault {
+		st.Refaults++
+	}
 	for _, si := range r.ix.SymbolsOnPage(ev.Page) {
 		c := &r.counts[si]
 		c.Faults++
@@ -263,10 +282,35 @@ func (r *Recorder) OnFault(ev osim.FaultEvent) {
 		} else {
 			c.Minor++
 		}
+		if refault {
+			c.Refaults++
+		}
 		c.IONanos += ev.IONanos
 		if c.FirstOrdinal == 0 {
 			c.FirstOrdinal = r.ordinal
 		}
+	}
+}
+
+// OnEvict attributes one page eviction (the Recorder also implements
+// osim.EvictionObserver; attach it as the mapping's EvictObserver). The
+// per-section eviction totals reconcile with the file's counters by
+// construction; per-symbol counts charge every symbol on the page.
+// Pressure and budget evictions arm the page's re-fault tracking;
+// DropCaches (the deliberate cold-start reset) disarms it, mirroring the
+// osim model.
+func (r *Recorder) OnEvict(ev osim.EvictionEvent) {
+	st := r.bySection[ev.Section]
+	if st == nil {
+		st = &SectionTotal{Section: r.ix.SectionName(ev.Section)}
+		r.bySection[ev.Section] = st
+	}
+	st.Evicted++
+	if ev.Page >= 0 && ev.Page < len(r.evictedPage) {
+		r.evictedPage[ev.Page] = ev.Cause != osim.EvictDrop
+	}
+	for _, si := range r.ix.SymbolsOnPage(ev.Page) {
+		r.counts[si].Evicted++
 	}
 }
 
@@ -320,7 +364,7 @@ func (r *Recorder) Table() *Table {
 	}
 	for i := range r.counts {
 		c := r.counts[i]
-		if c.Faults > 0 || c.ResidentUnusedBytes > 0 {
+		if c.Faults > 0 || c.ResidentUnusedBytes > 0 || c.Evicted > 0 {
 			t.Symbols = append(t.Symbols, c)
 		}
 	}
@@ -381,6 +425,8 @@ func Merge(tables ...*Table) *Table {
 			out.Sections[i].Major += s.Major
 			out.Sections[i].Minor += s.Minor
 			out.Sections[i].IONanos += s.IONanos
+			out.Sections[i].Evicted += s.Evicted
+			out.Sections[i].Refaults += s.Refaults
 		}
 		for _, s := range t.Symbols {
 			i, ok := symIdx[s.Name]
@@ -395,6 +441,8 @@ func Merge(tables ...*Table) *Table {
 			m.Minor += s.Minor
 			m.IONanos += s.IONanos
 			m.ResidentUnusedBytes += s.ResidentUnusedBytes
+			m.Evicted += s.Evicted
+			m.Refaults += s.Refaults
 			if s.FirstOrdinal > 0 && (m.FirstOrdinal == 0 || s.FirstOrdinal < m.FirstOrdinal) {
 				m.FirstOrdinal = s.FirstOrdinal
 			}

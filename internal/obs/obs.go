@@ -220,6 +220,78 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed values
+// by linear interpolation inside the bucket containing the rank, the
+// Prometheus histogram_quantile estimator. Returns NaN when empty; the
+// overflow bucket clamps to the highest bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return histQuantile(h.bounds, counts, total, q)
+}
+
+// Quantile estimates the q-quantile of a snapshotted histogram, with the
+// same interpolation as Histogram.Quantile.
+func (p HistogramPoint) Quantile(q float64) float64 {
+	return histQuantile(p.Bounds, p.Counts, p.Count, q)
+}
+
+// histQuantile walks cumulative bucket counts to the bucket holding rank
+// q*total and interpolates linearly between the bucket's bounds. Buckets
+// are (lower, upper] with an implicit lower bound of 0 for the first —
+// the histograms here record non-negative quantities (nanos, pages).
+func histQuantile(bounds []float64, counts []int64, total int64, q float64) float64 {
+	if total <= 0 || len(counts) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			if len(bounds) == 0 {
+				return math.NaN()
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	if len(bounds) == 0 {
+		return math.NaN()
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Span is a scoped timer started by StartSpan and completed by End. The
 // zero Span (from a detached registry) is valid and free.
 type Span struct {
@@ -466,4 +538,14 @@ func DurationBuckets() []float64 {
 // powers of four).
 func SizeBuckets() []float64 {
 	return []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+}
+
+// LatencyBuckets is the fine-grained bucket layout for request latencies
+// in nanoseconds (1µs … 1s, 1-2-5 steps) — decade buckets are too coarse
+// for p99 interpolation over serve-mode bursts.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5,
+		1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+	}
 }

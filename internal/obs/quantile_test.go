@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 20, 40})
+	// 10 observations in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %v, want 10 (upper edge of first bucket)", got)
+	}
+	if got := h.Quantile(0.25); got != 5 {
+		t.Fatalf("p25 = %v, want 5 (midpoint of first bucket)", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("p100 = %v, want 20", got)
+	}
+	if got := h.Quantile(0.75); got != 15 {
+		t.Fatalf("p75 = %v, want 15", got)
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10})
+	h.Observe(1000) // overflow bucket
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow quantile = %v, want clamp to 10", got)
+	}
+}
+
+func TestHistogramQuantileEmptyAndNil(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %v, want NaN", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("nil quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramPointQuantile(t *testing.T) {
+	p := HistogramPoint{
+		Bounds: []float64{100, 200},
+		Counts: []int64{4, 4, 0},
+		Count:  8,
+	}
+	if got := p.Quantile(0.5); got != 100 {
+		t.Fatalf("point p50 = %v, want 100", got)
+	}
+	if got := p.Quantile(0.75); got != 150 {
+		t.Fatalf("point p75 = %v, want 150", got)
+	}
+	empty := HistogramPoint{Bounds: []float64{1}, Counts: []int64{0, 0}}
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty point quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10})
+	h.Observe(5)
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatalf("q<0 not clamped: %v", got)
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("q>1 not clamped: %v", got)
+	}
+}

@@ -1,0 +1,333 @@
+package osim
+
+// Page-cache behaviour under memory pressure. The cold-start evaluation
+// only ever needs the all-or-nothing DropCaches between iterations; serve-
+// mode scenarios (long-lived services with request bursts) additionally
+// need pages to *leave* the cache while a process is running — because the
+// kernel reclaims them under a resident budget, or because other tenants
+// push them out between bursts. This file models both: a resident-page
+// budget enforced with an LRU or clock replacement policy, an explicit
+// Reclaim API for inter-burst pressure, and an EvictionObserver hook
+// symmetric to FaultObserver so attribution can name which symbols' pages
+// fell out of cache and came back (re-faults).
+//
+// Evicting a resident page also unmaps it from every live mapping of the
+// file (the kernel's rmap walk): the next access takes a major re-fault,
+// not a free hit on a stale PTE.
+
+import "sort"
+
+// EvictionPolicy selects the page-replacement algorithm the OS uses when
+// the resident budget overflows or Reclaim is called.
+type EvictionPolicy int
+
+const (
+	// EvictLRU evicts the exactly least-recently-used resident page.
+	EvictLRU EvictionPolicy = iota
+	// EvictClock runs the second-chance clock: a sweeping hand clears
+	// per-page reference bits and evicts the first unreferenced page.
+	EvictClock
+)
+
+// String names the policy.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictClock:
+		return "clock"
+	}
+	return "unknown"
+}
+
+// EvictCause says why a page left the page cache.
+type EvictCause uint8
+
+const (
+	// EvictBudget: the resident-page budget overflowed on a fault's read.
+	EvictBudget EvictCause = iota
+	// EvictPressure: an explicit Reclaim call (inter-burst memory pressure).
+	EvictPressure
+	// EvictDrop: DropCaches (the cold-start reset between iterations).
+	EvictDrop
+)
+
+// String names the cause.
+func (c EvictCause) String() string {
+	switch c {
+	case EvictBudget:
+		return "budget"
+	case EvictPressure:
+		return "pressure"
+	case EvictDrop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// EvictionEvent describes one page evicted from the page cache, for
+// EvictionObserver implementations — the mirror image of FaultEvent.
+type EvictionEvent struct {
+	// Off is the page's byte offset; Page its index.
+	Off  int64
+	Page int
+	// Section indexes File.Sections for the section containing the page
+	// start, or len(Sections) when the page lies outside every section
+	// (same convention as FaultEvent.Section).
+	Section int
+	// Cause says why the page was evicted.
+	Cause EvictCause
+	// Mapped reports whether the observing mapping had the page mapped
+	// (and therefore lost a live translation, not just cache warmth).
+	Mapped bool
+}
+
+// EvictionObserver receives every eviction affecting a mapping's file as
+// it happens, symmetric to FaultObserver. Observers must not touch the
+// mapping they observe.
+type EvictionObserver interface {
+	OnEvict(EvictionEvent)
+}
+
+// SectionPages pairs a section name with a page count — the unit of the
+// residency and eviction telemetry.
+type SectionPages struct {
+	Section string
+	Pages   int64
+}
+
+// ResidentPages returns the number of pages currently in the page cache
+// across all files of the OS.
+func (o *OS) ResidentPages() int { return o.residentTotal }
+
+// Reclaim evicts up to n resident pages under the configured policy,
+// modelling inter-burst memory pressure (another tenant's working set
+// pushing this binary's pages out), and returns how many were evicted.
+func (o *OS) Reclaim(n int) int {
+	evicted := 0
+	for evicted < n && o.residentTotal > 0 {
+		if !o.evictVictim(nil, -1, EvictPressure) {
+			break
+		}
+		evicted++
+	}
+	return evicted
+}
+
+// ReclaimFraction evicts pct percent of the currently resident pages
+// (rounded down) and returns how many were evicted.
+func (o *OS) ReclaimFraction(pct int) int {
+	if pct <= 0 {
+		return 0
+	}
+	return o.Reclaim(o.residentTotal * pct / 100)
+}
+
+// enforceBudget evicts pages until the resident total fits the budget,
+// never evicting the pinned (currently faulting) page.
+func (o *OS) enforceBudget(pin *File, pinPage int) {
+	if o.CacheBudget <= 0 {
+		return
+	}
+	for o.residentTotal > o.CacheBudget {
+		if !o.evictVictim(pin, pinPage, EvictBudget) {
+			return
+		}
+	}
+}
+
+// evictVictim selects one victim page under the policy and evicts it.
+// Returns false when no evictable page exists.
+func (o *OS) evictVictim(pin *File, pinPage int, cause EvictCause) bool {
+	switch o.Policy {
+	case EvictClock:
+		return o.clockEvict(pin, pinPage, cause)
+	default:
+		return o.lruEvict(pin, pinPage, cause)
+	}
+}
+
+// lruEvict evicts the resident page with the smallest last-use stamp
+// (ties broken by file registration order, then page index, so victim
+// selection is deterministic).
+func (o *OS) lruEvict(pin *File, pinPage int, cause EvictCause) bool {
+	var victim *File
+	vp := -1
+	var vUse int64
+	for _, f := range o.files {
+		for p, res := range f.resident {
+			if !res || (f == pin && p == pinPage) {
+				continue
+			}
+			if victim == nil || f.lastUse[p] < vUse {
+				victim, vp, vUse = f, p, f.lastUse[p]
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	o.evictPage(victim, vp, cause)
+	return true
+}
+
+// clockEvict advances the global clock hand over the concatenated page
+// space of all files: referenced resident pages get a second chance (bit
+// cleared), the first unreferenced resident page is evicted.
+func (o *OS) clockEvict(pin *File, pinPage int, cause EvictCause) bool {
+	total := 0
+	for _, f := range o.files {
+		total += len(f.resident)
+	}
+	if total == 0 {
+		return false
+	}
+	// Two full sweeps suffice: the first clears every reference bit in the
+	// worst case, the second must then find a victim if one exists.
+	for i := 0; i < 2*total; i++ {
+		pos := o.hand % total
+		o.hand++
+		f, p := o.pageAt(pos)
+		if !f.resident[p] || (f == pin && p == pinPage) {
+			continue
+		}
+		if f.ref[p] {
+			f.ref[p] = false
+			continue
+		}
+		o.evictPage(f, p, cause)
+		return true
+	}
+	return false
+}
+
+// pageAt resolves a position in the concatenated page space to its file
+// and page index.
+func (o *OS) pageAt(pos int) (*File, int) {
+	for _, f := range o.files {
+		if pos < len(f.resident) {
+			return f, pos
+		}
+		pos -= len(f.resident)
+	}
+	panic("osim: clock hand out of range")
+}
+
+// evictPage removes one resident page from the cache: accounting, rmap
+// unmap from every live mapping, and observer notification.
+func (o *OS) evictPage(f *File, p int, cause EvictCause) {
+	f.resident[p] = false
+	o.residentTotal--
+	f.evicted++
+	sec := f.pageSection(p)
+	f.evictBySec[sec]++
+	if cause == EvictDrop {
+		// DropCaches is the deliberate cold-start reset between benchmark
+		// iterations, not memory pressure: re-fault tracking restarts.
+		f.everEvicted[p] = false
+	} else {
+		f.everEvicted[p] = true
+	}
+	off := int64(p) * PageSize
+	for _, m := range f.mappings {
+		wasMapped := m.mapped[p]
+		if wasMapped {
+			m.mapped[p] = false
+		}
+		if m.EvictObserver != nil {
+			m.EvictObserver.OnEvict(EvictionEvent{
+				Off: off, Page: p, Section: sec, Cause: cause, Mapped: wasMapped,
+			})
+		}
+	}
+}
+
+// pageSection classifies a page by its start offset, the same way faults
+// are classified by their fault offset: the index into Sections, or
+// len(Sections) for pages outside every section.
+func (f *File) pageSection(p int) int {
+	off := int64(p) * PageSize
+	for i := range f.Sections {
+		if f.Sections[i].Contains(off) {
+			return i
+		}
+	}
+	return len(f.Sections)
+}
+
+// noteUse stamps a page's access recency for the replacement policies.
+func (f *File) noteUse(p int) {
+	f.os.clock++
+	f.lastUse[p] = f.os.clock
+	f.ref[p] = true
+}
+
+// ReadInPages returns the cumulative number of pages read into the cache
+// for this file. Together with EvictedPages it reconciles exactly with
+// residency: ResidentPages() == ReadInPages() - EvictedPages().
+func (f *File) ReadInPages() int64 { return f.readIn }
+
+// EvictedPages returns the cumulative number of pages evicted from the
+// cache (any cause, including DropCaches).
+func (f *File) EvictedPages() int64 { return f.evicted }
+
+// RefaultedPages returns how many major faults re-read a page that had
+// been evicted under pressure or budget since the last DropCaches — the
+// serve-mode churn cost a layout either amortizes or pays repeatedly.
+func (f *File) RefaultedPages() int64 { return f.refaults }
+
+// EvictionsBySection returns the per-section eviction counts in section
+// order, plus the catch-all bucket for pages outside every section.
+func (f *File) EvictionsBySection() []SectionPages {
+	out := make([]SectionPages, 0, len(f.Sections)+1)
+	for i, s := range f.Sections {
+		out = append(out, SectionPages{Section: s.Name, Pages: f.evictBySec[i]})
+	}
+	return append(out, SectionPages{Section: "<other>", Pages: f.evictBySec[len(f.Sections)]})
+}
+
+// ResidencyBySection returns the current resident page counts per section
+// (plus the catch-all bucket) — the residency timeline's sample unit.
+func (f *File) ResidencyBySection() []SectionPages {
+	counts := make([]int64, len(f.Sections)+1)
+	for p, res := range f.resident {
+		if res {
+			counts[f.pageSection(p)]++
+		}
+	}
+	out := make([]SectionPages, 0, len(counts))
+	for i, s := range f.Sections {
+		out = append(out, SectionPages{Section: s.Name, Pages: counts[i]})
+	}
+	return append(out, SectionPages{Section: "<other>", Pages: counts[len(f.Sections)]})
+}
+
+// ResidentInSection returns how many pages of the named section are
+// currently resident.
+func (f *File) ResidentInSection(name string) int {
+	n := 0
+	for _, sp := range f.ResidencyBySection() {
+		if sp.Section == name {
+			n = int(sp.Pages)
+		}
+	}
+	return n
+}
+
+// coldestResident returns the file's resident pages sorted coldest-first
+// (for tests and diagnostics).
+func (f *File) coldestResident() []int {
+	var pages []int
+	for p, res := range f.resident {
+		if res {
+			pages = append(pages, p)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if f.lastUse[pages[i]] != f.lastUse[pages[j]] {
+			return f.lastUse[pages[i]] < f.lastUse[pages[j]]
+		}
+		return pages[i] < pages[j]
+	})
+	return pages
+}

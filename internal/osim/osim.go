@@ -67,7 +67,23 @@ type OS struct {
 	// registry is present. The osim layer itself only carries the flag.
 	AttributeFaults bool
 
+	// CacheBudget caps the resident pages across all files of the OS;
+	// 0 means unlimited (the cold-start model, where only DropCaches
+	// empties the cache). When a fault's read overflows the budget, the
+	// Policy picks victims to evict.
+	CacheBudget int
+	// Policy selects the page-replacement policy used by the budget and
+	// by Reclaim (EvictLRU by default).
+	Policy EvictionPolicy
+
 	files []*File
+
+	// Replacement-policy state: a logical access clock for LRU stamps,
+	// the resident total the budget is enforced against, and the clock
+	// policy's sweep hand over the concatenated page space.
+	clock         int64
+	residentTotal int
+	hand          int
 }
 
 // FaultEvent describes one page fault as it is taken, for FaultObserver
@@ -122,6 +138,24 @@ type File struct {
 	Size     int64
 	Sections []Section
 	resident []bool
+
+	// Replacement-policy state: per-page last-use stamps (LRU), reference
+	// bits (clock), and whether the page was evicted under pressure or
+	// budget since the last DropCaches (re-fault tracking).
+	lastUse     []int64
+	ref         []bool
+	everEvicted []bool
+
+	// mappings are the live mappings of the file; evicting a page unmaps
+	// it from each of them (the kernel's rmap walk).
+	mappings []*Mapping
+
+	// Cumulative cache-churn counters. Invariant (enforced by test):
+	// ResidentPages() == readIn - evicted at every point in time.
+	readIn     int64
+	evicted    int64
+	refaults   int64
+	evictBySec []int64 // per Sections index, + catch-all at the end
 }
 
 // NewFile registers a file with the OS. Sections must not overlap.
@@ -136,23 +170,37 @@ func (o *OS) NewFile(name string, size int64, sections []Section) (*File, error)
 			}
 		}
 	}
+	n := pagesFor(size)
 	f := &File{
-		os:       o,
-		Name:     name,
-		Size:     size,
-		Sections: sections,
-		resident: make([]bool, pagesFor(size)),
+		os:          o,
+		Name:        name,
+		Size:        size,
+		Sections:    sections,
+		resident:    make([]bool, n),
+		lastUse:     make([]int64, n),
+		ref:         make([]bool, n),
+		everEvicted: make([]bool, n),
+		evictBySec:  make([]int64, len(sections)+1),
 	}
 	o.files = append(o.files, f)
 	return f, nil
 }
 
 // DropCaches evicts every clean page, like writing to
-// /proc/sys/vm/drop_caches between benchmark iterations (Sec. 7.1).
+// /proc/sys/vm/drop_caches between benchmark iterations (Sec. 7.1). It
+// goes through the regular eviction path (unmapping pages from live
+// mappings and notifying EvictionObservers with EvictDrop), and resets
+// re-fault tracking: a deliberate cold-start reset is not memory
+// pressure, so faults after it are first faults, not re-faults.
 func (o *OS) DropCaches() {
 	for _, f := range o.files {
-		for i := range f.resident {
-			f.resident[i] = false
+		for p, res := range f.resident {
+			if res {
+				o.evictPage(f, p, EvictDrop)
+			}
+		}
+		for p := range f.everEvicted {
+			f.everEvicted[p] = false
 		}
 	}
 }
@@ -191,6 +239,10 @@ type Mapping struct {
 	Faults int64
 	// MajorFaults counts faults that required device I/O.
 	MajorFaults int64
+	// Refaults counts major faults that re-read a page evicted under
+	// pressure or budget since the last DropCaches — the page-cache churn
+	// cost of serve-mode workloads.
+	Refaults int64
 	// IOTime is the accumulated simulated device time.
 	IOTime time.Duration
 
@@ -201,6 +253,10 @@ type Mapping struct {
 	// before the first Touch; the startup faults of a process are part of
 	// the attribution stream too.
 	Observer FaultObserver
+
+	// EvictObserver, when non-nil, receives every eviction of a page of
+	// the mapped file (whether or not this mapping had it mapped).
+	EvictObserver EvictionObserver
 
 	// Readahead escalation state (AdaptiveReadahead): lastEnd is the page
 	// index just past the previous read window; window the current size.
@@ -245,7 +301,21 @@ func (f *File) Map() *Mapping {
 		m.minorCtr[len(f.Sections)] = r.Counter("osim.fault.minor.<other>")
 		m.readHist = r.Histogram("osim.read_pages", []float64{1, 2, 4, 8, 16, 32})
 	}
+	f.mappings = append(f.mappings, m)
 	return m
+}
+
+// Release unregisters the mapping from its file, like munmap at process
+// exit: later evictions no longer unmap its pages or notify its
+// EvictObserver. The mapping's counters stay readable.
+func (m *Mapping) Release() {
+	f := m.file
+	for i, mm := range f.mappings {
+		if mm == m {
+			f.mappings = append(f.mappings[:i], f.mappings[i+1:]...)
+			return
+		}
+	}
 }
 
 // Touch accesses one byte offset, faulting the page in if necessary.
@@ -255,6 +325,9 @@ func (m *Mapping) Touch(off int64) {
 	}
 	p := int(off / PageSize)
 	if m.mapped[p] {
+		// Plain memory access: no fault, but the page's recency still
+		// advances for the replacement policies.
+		m.file.noteUse(p)
 		return
 	}
 	// Page fault. Attribute it to the section containing the offset, the
@@ -282,6 +355,12 @@ func (m *Mapping) Touch(off int64) {
 	} else {
 		sf.Major++
 		m.MajorFaults++
+		if m.file.everEvicted[p] {
+			// This page had been in the cache and was reclaimed: the fault
+			// is a re-fault, the churn cost serve-mode layouts compete on.
+			m.file.refaults++
+			m.Refaults++
+		}
 		// Read window: the aligned fault-around cluster, escalated when
 		// the fault continues right after the previous read window
 		// (AdaptiveReadahead — Linux readahead ramp-up).
@@ -312,6 +391,9 @@ func (m *Mapping) Touch(off int64) {
 		for i := start; i < end; i++ {
 			if !m.file.resident[i] {
 				m.file.resident[i] = true
+				m.file.readIn++
+				m.file.os.residentTotal++
+				m.file.noteUse(i)
 				read++
 			}
 		}
@@ -322,7 +404,11 @@ func (m *Mapping) Touch(off int64) {
 		if m.readHist != nil {
 			m.readHist.Observe(float64(read))
 		}
+		// The read may have overflowed the resident budget: reclaim down
+		// to it, never evicting the page this fault needs.
+		m.file.os.enforceBudget(m.file, p)
 	}
+	m.file.noteUse(p)
 	if m.tl != nil {
 		var mj int64
 		if major {

@@ -232,15 +232,23 @@ func WriteCodeProfile(w io.Writer, profile []string) error {
 	return bw.Flush()
 }
 
-// ReadCodeProfile parses a code-ordering profile.
+// ReadCodeProfile parses a code-ordering profile. Signatures with
+// embedded carriage returns are rejected: WriteCodeProfile could not
+// re-serialize them, so accepting them would break round-trips.
 func ReadCodeProfile(r io.Reader) ([]string, error) {
 	var out []string
 	sc := bufio.NewScanner(r)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		if line != "" {
-			out = append(out, line)
+		if line == "" {
+			continue
 		}
+		if strings.ContainsRune(line, '\r') {
+			return nil, fmt.Errorf("postproc: code profile line %d: embedded carriage return", lineNo)
+		}
+		out = append(out, line)
 	}
 	return out, sc.Err()
 }

@@ -1,0 +1,115 @@
+package postproc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReadProfilesHostileInput covers the CSV readers' failure paths:
+// lines past the scanner's token limit, malformed hex, and signatures the
+// writer could never have produced.
+func TestReadProfilesHostileInput(t *testing.T) {
+	t.Run("code-overlong-line", func(t *testing.T) {
+		if _, err := ReadCodeProfile(strings.NewReader(strings.Repeat("x", 1<<20))); err == nil {
+			t.Error("megabyte line accepted")
+		}
+	})
+	t.Run("code-embedded-cr", func(t *testing.T) {
+		_, err := ReadCodeProfile(strings.NewReader("a.b(1)\rc.d(2)\n"))
+		if err == nil || !strings.Contains(err.Error(), "carriage return") {
+			t.Errorf("err = %v, want carriage-return rejection", err)
+		}
+	})
+	t.Run("code-crlf-ok", func(t *testing.T) {
+		// Trailing \r before \n is line-ending noise, not content.
+		got, err := ReadCodeProfile(strings.NewReader("a.b(1)\r\nc.d(2)\r\n"))
+		if err != nil || len(got) != 2 || got[0] != "a.b(1)" {
+			t.Errorf("got %v, %v", got, err)
+		}
+	})
+	t.Run("code-blank-and-space", func(t *testing.T) {
+		got, err := ReadCodeProfile(strings.NewReader("\n  a.b(1)  \n\n\t\n"))
+		if err != nil || len(got) != 1 || got[0] != "a.b(1)" {
+			t.Errorf("got %v, %v", got, err)
+		}
+	})
+	t.Run("heap-bad-hex", func(t *testing.T) {
+		for _, in := range []string{"zz\n", "0x10\n", "-1\n", "1 2\n", "10000000000000000\n"} {
+			if _, err := ReadHeapProfile(strings.NewReader(in)); err == nil {
+				t.Errorf("malformed hex %q accepted", in)
+			}
+		}
+	})
+	t.Run("heap-overlong-line", func(t *testing.T) {
+		if _, err := ReadHeapProfile(strings.NewReader(strings.Repeat("1", 1<<20))); err == nil {
+			t.Error("megabyte line accepted")
+		}
+	})
+	t.Run("write-rejects-newline", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteCodeProfile(&buf, []string{"a\nb"}); err == nil {
+			t.Error("newline in signature accepted")
+		}
+		if err := WriteCodeProfile(&buf, []string{"a\rb"}); err == nil {
+			t.Error("carriage return in signature accepted")
+		}
+	})
+}
+
+// FuzzProfileCSV asserts the profile CSV readers never panic, and that
+// anything they accept re-serializes canonically: encode(decode(data))
+// must be a fixed point of a further decode/encode round trip.
+func FuzzProfileCSV(f *testing.F) {
+	var code bytes.Buffer
+	if err := WriteCodeProfile(&code, []string{"App.main()", "Sieve.run(2)", "Heap.get(1)"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(code.Bytes())
+	var hp bytes.Buffer
+	if err := WriteHeapProfile(&hp, []uint64{1, 0xdeadbeef, 1 << 62}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hp.Bytes())
+	f.Add([]byte("a.b(1)\r\nc.d(2)\n"))
+	f.Add([]byte("ff\nZZ\n"))
+	f.Add([]byte("\n\n  \n"))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if sigs, err := ReadCodeProfile(bytes.NewReader(data)); err == nil {
+			var b1 bytes.Buffer
+			if err := WriteCodeProfile(&b1, sigs); err != nil {
+				t.Fatalf("re-encoding accepted code profile: %v", err)
+			}
+			again, err := ReadCodeProfile(bytes.NewReader(b1.Bytes()))
+			if err != nil {
+				t.Fatalf("re-decoding own code CSV: %v", err)
+			}
+			var b2 bytes.Buffer
+			if err := WriteCodeProfile(&b2, again); err != nil {
+				t.Fatalf("second code re-encode: %v", err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatal("code profile CSV is not canonical under round trip")
+			}
+		}
+		if ids, err := ReadHeapProfile(bytes.NewReader(data)); err == nil {
+			var b1 bytes.Buffer
+			if err := WriteHeapProfile(&b1, ids); err != nil {
+				t.Fatalf("re-encoding accepted heap profile: %v", err)
+			}
+			again, err := ReadHeapProfile(bytes.NewReader(b1.Bytes()))
+			if err != nil {
+				t.Fatalf("re-decoding own heap CSV: %v", err)
+			}
+			var b2 bytes.Buffer
+			if err := WriteHeapProfile(&b2, again); err != nil {
+				t.Fatalf("second heap re-encode: %v", err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatal("heap profile CSV is not canonical under round trip")
+			}
+		}
+	})
+}

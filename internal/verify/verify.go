@@ -283,6 +283,9 @@ func (v *verifier) verifyWorkload(w workloads.Workload) error {
 		v.rep.Pairs++
 		v.differential(w, strategy, base, instrs, ref, opt, opt2)
 		v.metamorphic(w.Name, strategy, refImg, res.Optimized, opt2Img)
+		for _, c := range recipeChecks(res.Optimized) {
+			v.check(w.Name, strategy, c.name, "optimized vs baked", c.fail, -1, "")
+		}
 	}
 	return nil
 }

@@ -5,8 +5,28 @@ import (
 	"testing"
 
 	"nimage/internal/core"
+	"nimage/internal/graal"
+	"nimage/internal/image"
 	"nimage/internal/workloads"
 )
+
+// buildOptimizedFor runs a workload's ordering pipeline and returns the
+// optimized image.
+func buildOptimizedFor(t *testing.T, w workloads.Workload, strategy string) (*image.Image, error) {
+	t.Helper()
+	res, err := image.BuildOptimized(w.Build(), image.PipelineOptions{
+		Compiler:         graal.DefaultConfig(),
+		Strategy:         strategy,
+		InstrumentedSeed: 101,
+		OptimizedSeed:    1,
+		Args:             w.Args,
+		Service:          w.Service,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Optimized, nil
+}
 
 // requireOK runs the verifier and fails the test on any divergence,
 // printing each one (the divergence details are the debugging payload).
@@ -65,6 +85,39 @@ func TestEquivalenceGenerated(t *testing.T) {
 	})
 	if got := strings.Join(rep.Workloads, ","); got != "Gen0001,Gen0002" {
 		t.Fatalf("workloads = %q", got)
+	}
+}
+
+// TestRecipeRoundTripChecksRun asserts the portable-recipe round trip is
+// part of every verified pair: each strategy contributes the four
+// recipe-roundtrip checks and all of them hold.
+func TestRecipeRoundTripChecksRun(t *testing.T) {
+	w, err := workloads.ByName("Bounce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := buildOptimizedFor(t, w, core.StrategyCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := recipeChecks(img)
+	if len(cs) != 4 {
+		t.Fatalf("recipeChecks returned %d checks, want 4", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		names[c.name] = true
+		if c.fail != "" {
+			t.Errorf("%s: %s", c.name, c.fail)
+		}
+	}
+	for _, want := range []string{
+		"recipe-roundtrip-codec", "recipe-roundtrip-sections",
+		"recipe-roundtrip-cu-offsets", "recipe-roundtrip-object-offsets",
+	} {
+		if !names[want] {
+			t.Errorf("check %s missing", want)
+		}
 	}
 }
 

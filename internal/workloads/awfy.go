@@ -17,6 +17,9 @@ type Workload struct {
 	Args []int64
 	// Build constructs the program (expensive; call once and reuse).
 	Build func() *ir.Program
+	// Serve, when non-nil, marks a serve-mode workload: after startup the
+	// harness drives request bursts through the described dispatch entry.
+	Serve *ServeSpec
 }
 
 // AWFY returns the 14 "Are We Fast Yet?" benchmarks [33].
@@ -53,9 +56,10 @@ func All() []Workload {
 	return append(AWFY(), Microservices()...)
 }
 
-// ByName returns the workload with the given name.
+// ByName returns the workload with the given name, searching the standard
+// set and the serve-mode workloads.
 func ByName(name string) (Workload, error) {
-	for _, w := range All() {
+	for _, w := range append(All(), Serve()...) {
 		if w.Name == name {
 			return w, nil
 		}

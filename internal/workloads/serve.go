@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"fmt"
+
+	"nimage/internal/ir"
+)
+
+// ServeSpec describes the serve-mode surface of a workload: after startup
+// (main runs to its first response), the harness keeps the process alive
+// and drives request bursts through the dispatch entry point.
+type ServeSpec struct {
+	// DispatchClass and DispatchMethod name the static request entry:
+	// dispatch(route) runs one request and ends with a respond intrinsic.
+	DispatchClass  string
+	DispatchMethod string
+	// Routes is the number of distinct routes dispatch accepts (0..Routes-1).
+	Routes int
+}
+
+// serveSpec sizes one synthetic serve-mode service. Unlike the helloworld
+// microservices (which exist to measure time-to-first-response and then
+// die), these keep serving: every route has its own handler CU and its
+// own heap slab, scattered across the framework packages, so the working
+// set of a burst is determined by which routes it hits — and by how much
+// of the previous burst's working set survived the inter-burst pressure.
+type serveSpec struct {
+	name     string
+	prefix   string // framework package prefix, e.g. "srv.api"
+	routes   int    // handler count (= ServeSpec.Routes)
+	ops      int    // arithmetic work per request
+	reads    int    // per-request reads of the route's heap slab
+	slab     int    // objects in each route's static table (heap weight)
+	pkgs     []pkgSpec
+	res      int
+	resBytes int
+}
+
+// serveAPISpec is a wide API service: many small handlers scattered over
+// the package namespace, small per-route heap slabs. Its serve-mode cost
+// is .text churn — cold handler CUs re-faulting after pressure.
+func serveAPISpec() serveSpec {
+	return serveSpec{
+		name: "serve-api", prefix: "srv.api",
+		routes: 24, ops: 20, reads: 6, slab: 32,
+		pkgs: []pkgSpec{
+			{name: "srv.api.auth", classes: 18, methods: 6, body: 24, data: 10, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "srv.api.codec", classes: 18, methods: 7, body: 24, data: 12, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "srv.api.http", classes: 20, methods: 6, body: 26, data: 10, hotPeriod: 7, reads: 2, saltShare: 85},
+			{name: "srv.api.metrics", classes: 16, methods: 6, body: 22, data: 10, saltShare: 85},
+			{name: "java.io", classes: 18, methods: 7, body: 22, data: 14, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "java.util.concurrent", classes: 16, methods: 6, body: 20, data: 10, saltShare: 85},
+		},
+		res: 5, resBytes: 6 * 1024,
+	}
+}
+
+// serveCacheSpec is a cache-heavy service: fewer routes but each owns a
+// large heap slab, so serve-mode churn lands in .svm_heap — the snapshot
+// pages pressure evicts between bursts.
+func serveCacheSpec() serveSpec {
+	return serveSpec{
+		name: "serve-cache", prefix: "srv.cache",
+		routes: 12, ops: 12, reads: 12, slab: 160,
+		pkgs: []pkgSpec{
+			{name: "srv.cache.store", classes: 18, methods: 6, body: 24, data: 16, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "srv.cache.proto", classes: 18, methods: 6, body: 24, data: 12, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "srv.cache.net", classes: 18, methods: 6, body: 24, data: 10, hotPeriod: 9, reads: 2, saltShare: 85},
+			{name: "java.io", classes: 18, methods: 7, body: 22, data: 14, hotPeriod: 8, reads: 2, saltShare: 85},
+			{name: "java.util.concurrent", classes: 16, methods: 6, body: 20, data: 10, saltShare: 85},
+		},
+		res: 6, resBytes: 8 * 1024,
+	}
+}
+
+// Serve returns the serve-mode workloads. They are deliberately not part
+// of All(): the cold-start figures keep their workload set, and the serve
+// figures/harness address these by name or through this list.
+func Serve() []Workload {
+	mk := func(sp serveSpec) Workload {
+		return Workload{
+			Name:    sp.name,
+			Service: true,
+			Build:   func() *ir.Program { return buildServe(sp) },
+			Serve: &ServeSpec{
+				DispatchClass:  sp.prefix + ".Dispatcher",
+				DispatchMethod: "dispatch",
+				Routes:         sp.routes,
+			},
+		}
+	}
+	return []Workload{mk(serveAPISpec()), mk(serveCacheSpec())}
+}
+
+// buildServe constructs the program for one serve spec: the startup
+// runtime, one handler class (code + heap slab) per route scattered
+// across the framework packages, a dispatcher that routes a request id to
+// its handler and responds, and a main that initializes the runtime and
+// serves the first request (route 0) — so the profiled startup path
+// covers route 0's handler only, leaving the other routes cold the way
+// real first-request profiles do.
+func buildServe(sp serveSpec) *ir.Program {
+	b := ir.NewBuilder(sp.name)
+	addCoreLibrary(b)
+	addStartup(b, startupScale{
+		packages:      sp.pkgs,
+		resources:     sp.res,
+		resourceBytes: sp.resBytes,
+	})
+
+	clsHandler := func(i int) string {
+		pkg := sp.pkgs[i%len(sp.pkgs)].name
+		return fmt.Sprintf("%s.Handler%02d", pkg, i)
+	}
+
+	for i := 0; i < sp.routes; i++ {
+		cn := clsHandler(i)
+		c := b.Class(cn)
+		c.Static("table", ir.Array(refObj()))
+
+		// The route's heap slab: a table of strings baked into the image
+		// snapshot, sized by the spec (the serve-cache routes carry large
+		// slabs, the serve-api routes small ones).
+		cl := c.Clinit()
+		e := cl.Entry()
+		n := e.ConstInt(int64(sp.slab))
+		arr := e.NewArray(refObj(), n)
+		zero := e.ConstInt(0)
+		name := e.Str(cn + "$Row")
+		exit := e.For(zero, n, 1, func(body *ir.BlockBuilder, k ir.Reg) *ir.BlockBuilder {
+			s := body.Intrinsic(ir.IntrinsicItoa, k)
+			v := body.Intrinsic(ir.IntrinsicConcat, name, s)
+			body.ASet(arr, k, v)
+			return body
+		})
+		exit.PutStatic(cn, "table", arr)
+		exit.RetVoid()
+
+		// handle(r): per-request arithmetic plus strided reads over the
+		// route's slab — the request's working set.
+		m := c.StaticMethod("handle", 1, ir.Int())
+		me := m.Entry()
+		acc := me.Move(m.Param(0))
+		for k := 0; k < sp.ops; k++ {
+			kc := me.ConstInt(int64(i*17 + k + 1))
+			op := ir.Add
+			if k%3 == 1 {
+				op = ir.Xor
+			}
+			me.ArithTo(acc, op, acc, kc)
+		}
+		tb := me.GetStatic(cn, "table")
+		ln := me.ALen(tb)
+		reads := me.ConstInt(int64(sp.reads))
+		seven := me.ConstInt(7)
+		z := me.ConstInt(0)
+		done := me.For(z, reads, 1, func(body *ir.BlockBuilder, k ir.Reg) *ir.BlockBuilder {
+			idx := body.Arith(ir.Rem, body.Arith(ir.Mul, k, seven), ln)
+			s := body.AGet(tb, idx)
+			l := body.Intrinsic(ir.IntrinsicStrLen, s)
+			body.ArithTo(acc, ir.Add, acc, l)
+			return body
+		})
+		done.Ret(acc)
+	}
+
+	// Dispatcher.dispatch(r): route the request id to its handler, print
+	// the result, respond. With StopOnRespond the machine stops here, so
+	// one RunMethod call is exactly one request.
+	clsDisp := sp.prefix + ".Dispatcher"
+	dp := b.Class(clsDisp)
+	dm := dp.StaticMethod("dispatch", 1, ir.Void())
+	de := dm.Entry()
+	r := dm.Param(0)
+	acc := de.ConstInt(0)
+	cur := de
+	for i := 0; i < sp.routes; i++ {
+		rc := cur.ConstInt(int64(i))
+		is := cur.Cmp(ir.Eq, r, rc)
+		hn := clsHandler(i)
+		cur = cur.IfThen(is, func(th *ir.BlockBuilder) *ir.BlockBuilder {
+			v := th.Call(hn, "handle", r)
+			th.MoveTo(acc, v)
+			return th
+		})
+	}
+	s := cur.Intrinsic(ir.IntrinsicItoa, acc)
+	cur.IntrinsicVoid(ir.IntrinsicPrint, s)
+	cur.IntrinsicVoid(ir.IntrinsicRespond)
+	cur.RetVoid()
+
+	// Server.main: runtime init, then serve the first request.
+	clsServer := sp.prefix + ".Server"
+	srv := b.Class(clsServer)
+	mm := srv.StaticMethod("main", 0, ir.Void())
+	e := mm.Entry()
+	emitRuntimeInit(e)
+	for _, prop := range []string{"user.timezone", "file.encoding"} {
+		pr := e.Str(prop)
+		e.Call(ClsSystem, "getProperty", pr)
+	}
+	zero := e.ConstInt(0)
+	e.CallVoid(clsDisp, "dispatch", zero)
+	e.RetVoid()
+	b.SetEntry(clsServer, "main")
+
+	return b.MustBuild()
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import "testing"
+
+func TestServeWorkloadsBuild(t *testing.T) {
+	for _, w := range Serve() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if !w.Service {
+				t.Fatal("serve workloads must be services")
+			}
+			if w.Serve == nil || w.Serve.Routes < 2 {
+				t.Fatalf("bad serve spec %+v", w.Serve)
+			}
+			p := w.Build()
+			c := p.Class(w.Serve.DispatchClass)
+			if c == nil {
+				t.Fatalf("dispatch class %s missing", w.Serve.DispatchClass)
+			}
+			m := c.LookupMethod(w.Serve.DispatchMethod)
+			if m == nil {
+				t.Fatalf("dispatch method %s missing", w.Serve.DispatchMethod)
+			}
+			if !m.Static || m.NParams != 1 {
+				t.Fatalf("dispatch must be static with one parameter, got static=%v params=%d", m.Static, m.NParams)
+			}
+			// Every serve workload resolves through ByName (the CLI path).
+			got, err := ByName(w.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Serve == nil || got.Serve.Routes != w.Serve.Routes {
+				t.Fatalf("ByName lost the serve spec: %+v", got.Serve)
+			}
+		})
+	}
+}
+
+func TestServeNotInAll(t *testing.T) {
+	// The cold-start figures iterate All(); the serve workloads must not
+	// change that set.
+	for _, w := range All() {
+		if w.Serve != nil {
+			t.Fatalf("serve workload %s leaked into All()", w.Name)
+		}
+	}
+}

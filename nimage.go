@@ -302,6 +302,24 @@ func SSD() Device { return osim.SSD() }
 // NFS returns the network-file-system device.
 func NFS() Device { return osim.NFS() }
 
+// Page-cache pressure (serve mode).
+//
+// Beyond the all-or-nothing DropCaches of cold-start measurement, the OS
+// models pages leaving the cache while a process runs: a resident-page
+// budget (OS.CacheBudget) enforced under an eviction policy, and explicit
+// Reclaim calls for inter-tenant pressure. Evictions unmap pages from live
+// mappings, so re-accessed pages take major re-faults — the serve-mode
+// churn the Harness's serve protocol measures.
+
+// EvictionPolicy selects the page-replacement algorithm.
+type EvictionPolicy = osim.EvictionPolicy
+
+// Eviction policies.
+const (
+	EvictLRU   = osim.EvictLRU
+	EvictClock = osim.EvictClock
+)
+
 // Process is one execution of an image over an OS.
 type Process = image.Process
 
@@ -324,6 +342,11 @@ func Microservices() []Workload { return workloads.Microservices() }
 
 // AllWorkloads returns every workload of the evaluation.
 func AllWorkloads() []Workload { return workloads.All() }
+
+// ServeWorkloads returns the serve-mode workloads (long-lived services
+// driven with request bursts; not part of AllWorkloads so the cold-start
+// figures keep their set).
+func ServeWorkloads() []Workload { return workloads.Serve() }
 
 // WorkloadByName looks a workload up by figure name.
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
@@ -375,6 +398,34 @@ type ResultTable = eval.Table
 
 // NewHarness creates an evaluation harness.
 func NewHarness(cfg EvalConfig) *Harness { return eval.NewHarness(cfg) }
+
+// Serve-mode measurement (Harness.MeasureServe / Harness.ServeFigure):
+// startup followed by request bursts with page-cache pressure between
+// them, producing per-burst latency quantiles, fault and re-fault counts,
+// and residency telemetry. See `nimage serve`.
+
+// ServeConfig tunes one serve scenario (bursts, pressure, traffic skew).
+type ServeConfig = eval.ServeConfig
+
+// DefaultServeConfig returns the serve-mode defaults.
+func DefaultServeConfig() ServeConfig { return eval.DefaultServeConfig() }
+
+// ServeOutcome is one build's serve run: startup, bursts, warm aggregates.
+type ServeOutcome = eval.ServeOutcome
+
+// BurstMeasure is the telemetry of one request burst.
+type BurstMeasure = eval.BurstMeasure
+
+// ServeStrategies lists the layouts the serve figures compare.
+func ServeStrategies() []string { return eval.ServeStrategies() }
+
+// BurstRowText is one row of the rendered burst table.
+type BurstRowText = textviz.BurstRow
+
+// BurstTableText renders per-burst serve telemetry as a text table.
+func BurstTableText(title string, rows []BurstRowText) string {
+	return textviz.BurstTable(title, rows)
+}
 
 // Visualization (Fig. 6).
 
