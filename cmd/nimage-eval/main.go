@@ -5,7 +5,9 @@
 // visualization. Results are printed as ASCII charts and written as CSV
 // files into the output directory. The geomean factors of every figure are
 // additionally collected into a benchmark-baseline document
-// (BENCH_baseline.json), and the "report" experiment writes the
+// (BENCH_baseline.json), the "serve" experiment writes its own slice —
+// warm-burst latency, re-fault, and layout-scorecard geomeans — to
+// output/BENCH_serve.json, and the "report" experiment writes the
 // consolidated observability document (output/report.json).
 //
 // Usage:
@@ -18,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -43,6 +46,18 @@ type benchDoc struct {
 	Builds     int                           `json:"builds"`
 	Iterations int                           `json:"iterations"`
 	Figures    map[string]map[string]float64 `json:"figures"`
+}
+
+// geomean is the geometric mean of a set of positive factors.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
 }
 
 // parseWorkloadFilter resolves a comma-separated -workloads value; an empty
@@ -254,17 +269,24 @@ func run(args []string) error {
 	})
 	run("serve", func() error {
 		// Serve-mode comparison: warm-burst latency and re-fault volume per
-		// layout under mild and severe inter-burst pressure.
+		// layout under mild and severe inter-burst pressure, plus the static
+		// layout scorecards predicted from the baseline affinity recording.
 		ws := filterWorkloads(workloads.Serve(), keep)
 		if len(ws) == 0 {
 			fmt.Printf("serve: no selected workloads, skipped\n\n")
 			return nil
 		}
+		// The scorecards need the co-access recording, so the serve figure
+		// runs on an affinity-tracking harness; latency/re-fault tables share
+		// it, keeping every serve run measured exactly once.
+		acfg := cfg
+		acfg.TrackAffinity = true
+		ah := eval.NewHarness(acfg)
 		for _, p := range []int{30, 70} {
 			scfg := eval.DefaultServeConfig()
 			scfg.PressurePct = p
-			lat := func() (*eval.Table, error) { return h.ServeLatencyTable(ws, scfg, nil) }
-			ref := func() (*eval.Table, error) { return h.ServeRefaultTable(ws, scfg, nil) }
+			lat := func() (*eval.Table, error) { return ah.ServeLatencyTable(ws, scfg, nil) }
+			ref := func() (*eval.Table, error) { return ah.ServeRefaultTable(ws, scfg, nil) }
 			if err := table(fmt.Sprintf("serve-latency-p%d", p),
 				fmt.Sprintf("serve-latency-p%d.csv", p), lat); err != nil {
 				return err
@@ -273,7 +295,62 @@ func run(args []string) error {
 				fmt.Sprintf("serve-refaults-p%d.csv", p), ref); err != nil {
 				return err
 			}
+			var sb strings.Builder
+			sb.WriteString("workload,strategy,pressure_pct,locality,avg_window_pages,peak_window_pages,predicted_refaults,predicted_cold_pages,refault_factor\n")
+			factors := map[string][]float64{}
+			for _, w := range ws {
+				_, cards, err := ah.AffinityScorecards(w, scfg, nil)
+				if err != nil {
+					return err
+				}
+				fmt.Println(textviz.ScorecardTable(cards))
+				for _, c := range cards {
+					fmt.Fprintf(&sb, "%s,%s,%d,%.4f,%.2f,%d,%d,%d,%.4f\n",
+						c.Workload, c.Strategy, c.PressurePct, c.LocalityScore,
+						c.AvgWindowPages, c.PeakWindowPages,
+						c.PredictedRefaults, c.PredictedColdPages,
+						c.PredictedRefaultFactor)
+					if c.Strategy != eval.LayoutBaseline && c.PredictedRefaultFactor > 0 {
+						factors[c.Strategy] = append(factors[c.Strategy], c.PredictedRefaultFactor)
+					}
+				}
+			}
+			path := filepath.Join(*out, fmt.Sprintf("serve-scorecards-p%d.csv", p))
+			if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+			geo := map[string]float64{}
+			for s, fs := range factors {
+				geo[s] = geomean(fs)
+			}
+			if len(geo) > 0 {
+				baseline.Figures[fmt.Sprintf("serve-scorecards-p%d", p)] = geo
+			}
 		}
+		// BENCH_serve.json is the serve slice of the bench doc — the
+		// per-strategy warm-burst latency, measured re-fault, and predicted
+		// scorecard geomeans per pressure — written unconditionally so the
+		// nightly job and local runs get the serve baseline without -bench.
+		serve := benchDoc{
+			Schema: benchSchema, Device: cfg.Device.Name,
+			Builds: cfg.Builds, Iterations: cfg.Iterations,
+			Figures: map[string]map[string]float64{},
+		}
+		for key, geo := range baseline.Figures {
+			if strings.HasPrefix(key, "serve-") {
+				serve.Figures[key] = geo
+			}
+		}
+		data, err := json.MarshalIndent(serve, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, "BENCH_serve.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d figures)\n\n", path, len(serve.Figures))
 		return nil
 	})
 	run("report", func() error {

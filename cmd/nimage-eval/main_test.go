@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nimage/internal/eval"
@@ -86,9 +87,10 @@ func TestRunReportFiltered(t *testing.T) {
 	}
 }
 
-// TestRunServeFiltered smoke-tests the serve figure: latency and re-fault
-// tables must land for both pressure levels, with geomeans in the
-// benchmark-baseline document.
+// TestRunServeFiltered smoke-tests the serve figure: latency, re-fault,
+// and scorecard tables must land for both pressure levels, with geomeans
+// in the benchmark-baseline document and the serve slice in
+// BENCH_serve.json.
 func TestRunServeFiltered(t *testing.T) {
 	dir := t.TempDir()
 	bench := filepath.Join(dir, "BENCH_baseline.json")
@@ -103,6 +105,7 @@ func TestRunServeFiltered(t *testing.T) {
 	for _, f := range []string{
 		"serve-latency-p30.csv", "serve-refaults-p30.csv",
 		"serve-latency-p70.csv", "serve-refaults-p70.csv",
+		"serve-scorecards-p30.csv", "serve-scorecards-p70.csv",
 	} {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("figure CSV %s missing: %v", f, err)
@@ -118,6 +121,42 @@ func TestRunServeFiltered(t *testing.T) {
 	}
 	if len(doc.Figures["serve-latency-p30"]) == 0 || len(doc.Figures["serve-latency-p70"]) == 0 {
 		t.Fatalf("no serve geomeans recorded: %+v", doc.Figures)
+	}
+	if len(doc.Figures["serve-scorecards-p30"]) == 0 {
+		t.Fatalf("no scorecard geomeans recorded: %+v", doc.Figures)
+	}
+
+	sdata, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sdoc benchDoc
+	if err := json.Unmarshal(sdata, &sdoc); err != nil {
+		t.Fatal(err)
+	}
+	if sdoc.Schema != benchSchema {
+		t.Errorf("BENCH_serve schema = %q, want %q", sdoc.Schema, benchSchema)
+	}
+	// Re-fault geomeans can be legitimately absent (a fully degenerate
+	// zero-refault column at low pressure), so only latency and scorecard
+	// figures are required.
+	for _, key := range []string{
+		"serve-latency-p30", "serve-scorecards-p30",
+		"serve-latency-p70", "serve-scorecards-p70",
+	} {
+		if len(sdoc.Figures[key]) == 0 {
+			t.Errorf("BENCH_serve figure %s missing: %+v", key, sdoc.Figures)
+		}
+	}
+	for key, geo := range sdoc.Figures {
+		if !strings.HasPrefix(key, "serve-") {
+			t.Errorf("non-serve figure %q in BENCH_serve.json", key)
+		}
+		for s, f := range geo {
+			if f <= 0 {
+				t.Errorf("%s: strategy %s: non-positive geomean %v", key, s, f)
+			}
+		}
 	}
 }
 

@@ -13,6 +13,8 @@
 //	nimage report  -workloads Bounce,micronaut [-strategies "cu,heap path"] [-o report.json] [-artifacts dir]
 //	nimage faults  -workload Bounce [-strategy cu] [-top 20] [-o attrib.json] [-pprof p.pb.gz] [-trace t.json]
 //	nimage faults  -diff baseline.json optimized.json
+//	nimage affinity -workload serve-api [-strategy cu] [-top 20] [-o graph.json] [-dot g.dot] [-trace t.json]
+//	nimage affinity -workload serve-api -diff [-strategies "cu,heap path"]
 //	nimage viz     -workload Bounce [-section text|heap] [-ppm out.ppm]
 //	nimage export  -workload Towers -strategy "cu+heap path" -o towers.nimg
 //	nimage exec    -image towers.nimg [-report out.json]
@@ -50,6 +52,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "faults":
 		err = cmdFaults(os.Args[2:])
+	case "affinity":
+		err = cmdAffinity(os.Args[2:])
 	case "viz":
 		err = cmdViz(os.Args[2:])
 	case "export":
@@ -83,6 +87,7 @@ commands:
   order     print the per-strategy object match breakdown across builds
   report    run an observed evaluation, write a consolidated report.json
   faults    attribute cold-start page faults to symbols; -diff compares two runs
+  affinity  record the temporal co-access graph, score layouts; -diff ranks strategies
   viz       render the Fig. 6 page-fault grid (-section text|heap)
   export    build an image and write its portable .nimg recipe
   exec      bake a .nimg recipe and run it cold

@@ -66,7 +66,7 @@ func TestCmdServe(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report JSON: %v", err)
 	}
-	if rep.Schema != "nimage.report/v3" {
+	if rep.Schema != "nimage.report/v4" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if len(rep.Entries) == 0 || len(rep.Entries[0].Serve) == 0 {
@@ -80,6 +80,72 @@ func TestCmdServe(t *testing.T) {
 	}
 	if err := cmdServe([]string{"-workload", "Sieve"}); err == nil {
 		t.Fatal("non-serve workload accepted")
+	}
+}
+
+func TestCmdServeRejectsBadFlags(t *testing.T) {
+	cases := map[string][]string{
+		"pressure-over-100": {"-workload", "serve-api", "-pressure", "140"},
+		"pressure-negative": {"-workload", "serve-api", "-pressure", "-5"},
+		"hot-pct-over-100":  {"-workload", "serve-api", "-hot-pct", "101"},
+		"bursts-zero":       {"-workload", "serve-api", "-bursts", "0"},
+		"bursts-negative":   {"-workload", "serve-api", "-bursts", "-2"},
+		"burst-zero":        {"-workload", "serve-api", "-burst", "0"},
+	}
+	for name, args := range cases {
+		err := cmdServe(args)
+		if err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must be") {
+			t.Errorf("%s: unhelpful error %v", name, err)
+		}
+	}
+}
+
+func TestCmdAffinity(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "graph.json")
+	dot := filepath.Join(dir, "graph.dot")
+	trace := filepath.Join(dir, "trace.json")
+	if err := cmdAffinity([]string{"-workload", "serve-api", "-bursts", "2", "-burst", "6",
+		"-o", graph, "-dot", dot, "-trace", trace}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g struct {
+		Schema string `json:"schema"`
+		Nodes  []any  `json:"nodes"`
+		Edges  []any  `json:"edges"`
+	}
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("graph JSON: %v", err)
+	}
+	if g.Schema != "nimage.affinity/v1" || len(g.Nodes) == 0 || len(g.Edges) == 0 {
+		t.Fatalf("graph document: schema=%q nodes=%d edges=%d", g.Schema, len(g.Nodes), len(g.Edges))
+	}
+	for _, f := range []string{dot, trace} {
+		st, err := os.Stat(f)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty: %v", f, err)
+		}
+	}
+	if err := cmdAffinity([]string{"-workload", "Sieve"}); err == nil {
+		t.Fatal("non-serve workload accepted")
+	}
+	if err := cmdAffinity([]string{"-workload", "serve-api", "-pressure", "500"}); err == nil {
+		t.Fatal("out-of-range pressure accepted")
+	}
+}
+
+func TestCmdAffinityDiff(t *testing.T) {
+	if err := cmdAffinity([]string{"-workload", "serve-api", "-bursts", "2", "-burst", "6",
+		"-diff", "-strategies", "cu", "-top", "5"}); err != nil {
+		t.Fatal(err)
 	}
 }
 

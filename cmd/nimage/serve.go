@@ -8,6 +8,26 @@ import (
 	"nimage"
 )
 
+// validateServeFlags rejects out-of-range serve knobs up front: the
+// harness would silently substitute defaults for non-positive burst
+// counts, and percentages outside [0,100] have no meaning as reclaim or
+// traffic fractions.
+func validateServeFlags(pressure, hotPct, bursts, burst int) error {
+	if pressure < 0 || pressure > 100 {
+		return fmt.Errorf("-pressure must be between 0 and 100 (percent of resident pages), got %d", pressure)
+	}
+	if hotPct < 0 || hotPct > 100 {
+		return fmt.Errorf("-hot-pct must be between 0 and 100 (percent of requests), got %d", hotPct)
+	}
+	if bursts <= 0 {
+		return fmt.Errorf("-bursts must be positive, got %d", bursts)
+	}
+	if burst <= 0 {
+		return fmt.Errorf("-burst must be positive (requests per burst), got %d", burst)
+	}
+	return nil
+}
+
 // cmdServe runs a serve-mode scenario: startup, then request bursts with
 // page-cache pressure between them, printing the per-burst telemetry
 // table and warm-burst aggregates.
@@ -24,12 +44,15 @@ func cmdServe(args []string) error {
 	hotPct := fs.Int("hot-pct", 80, "percent of requests hitting the hot routes")
 	hotRoutes := fs.Int("hot-routes", 4, "size of the hot route set")
 	seed := fs.Uint64("seed", 0, "request-stream seed (0 = default)")
-	report := fs.String("report", "", "write a nimage.report/v3 JSON document to this file")
+	report := fs.String("report", "", "write a nimage.report/v4 JSON document to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w, err := nimage.WorkloadByName(*name)
 	if err != nil {
+		return err
+	}
+	if err := validateServeFlags(*pressure, *hotPct, *bursts, *burst); err != nil {
 		return err
 	}
 

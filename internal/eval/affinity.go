@@ -1,0 +1,59 @@
+package eval
+
+// Cross-strategy layout scorecards: the affinity graph is recorded once on
+// the baseline serve run, then scored against every candidate strategy's
+// layout by symbol name — the static counterpart of MeasureServe whose
+// predicted refault ordering the acceptance test holds against the
+// measured one.
+
+import (
+	"fmt"
+
+	"nimage/internal/obs/affinity"
+	"nimage/internal/workloads"
+)
+
+// AffinityScorecards records (or reuses, via the serve memoization) the
+// baseline serve run of the workload, merges the per-build affinity
+// graphs, and scores the baseline and every strategy layout against the
+// merged graph under the config's pressure. The returned cards are in
+// order: baseline first, then the strategies; RefaultFactors is filled
+// relative to the baseline card. Nil strategies mean ServeStrategies().
+//
+// The harness must run with Config.Observe or Config.TrackAffinity —
+// otherwise the serve outcomes carry no graphs to score.
+func (h *Harness) AffinityScorecards(w workloads.Workload, scfg ServeConfig, strategies []string) (*affinity.Graph, []*affinity.Scorecard, error) {
+	scfg = scfg.withDefaults()
+	if strategies == nil {
+		strategies = ServeStrategies()
+	}
+	outs, err := h.MeasureServe(w, LayoutBaseline, scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var graphs []*affinity.Graph
+	for _, o := range outs {
+		if o.Affinity != nil {
+			graphs = append(graphs, o.Affinity)
+		}
+	}
+	if len(graphs) == 0 {
+		return nil, nil, fmt.Errorf("eval: %s: no affinity graphs recorded (configure the harness with Observe or TrackAffinity)", w.Name)
+	}
+	g := affinity.Merge(graphs...)
+
+	cards := make([]*affinity.Scorecard, 0, len(strategies)+1)
+	for _, s := range append([]string{LayoutBaseline}, strategies...) {
+		// Build 0's layout stands in for the strategy: the build-seed
+		// perturbation moves little, and every card uses the same build.
+		img, err := h.serveImage(w, s, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		cards = append(cards, affinity.Score(g,
+			affinity.NewPlacement(img.AttributionIndex().Symbols()),
+			s, scfg.PressurePct))
+	}
+	affinity.RefaultFactors(cards[0], cards)
+	return g, cards, nil
+}

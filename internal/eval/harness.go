@@ -10,6 +10,7 @@ import (
 	"nimage/internal/image"
 	"nimage/internal/ir"
 	"nimage/internal/obs"
+	"nimage/internal/obs/affinity"
 	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
@@ -41,6 +42,11 @@ type Config struct {
 	// snapshots of the outcomes. Off by default: the measurement fast paths
 	// then carry no instrumentation cost.
 	Observe bool
+	// TrackAffinity attaches the temporal co-access recorder to every
+	// measured process (populating RunMeasure.Affinity/Scorecard and
+	// ServeOutcome.Affinity/Scorecard) without the full obs registry that
+	// Observe implies. Observe also enables affinity tracking.
+	TrackAffinity bool
 	// Workers bounds the number of concurrently executing build+measure
 	// tasks of the scheduler. 0 (the default) means runtime.GOMAXPROCS(0);
 	// 1 recovers a fully serial run. Results are bit-identical for every
@@ -95,6 +101,11 @@ type RunMeasure struct {
 	// Attrib is the per-symbol fault attribution of this iteration; nil
 	// unless the harness runs with Config.Observe.
 	Attrib *attrib.Table `json:"attrib,omitempty"`
+	// Affinity is the temporal co-access graph of this iteration and
+	// Scorecard its static layout score against the measured image's own
+	// layout; nil unless the harness observes or tracks affinity.
+	Affinity  *affinity.Graph     `json:"affinity,omitempty"`
+	Scorecard *affinity.Scorecard `json:"scorecard,omitempty"`
 }
 
 // RunReport is the structured observability record attached to a measured
@@ -163,6 +174,7 @@ func (h *Harness) newOS() *osim.OS {
 	o := osim.NewOS(h.Cfg.Device)
 	o.FaultAround = h.Cfg.FaultAround
 	o.AdaptiveReadahead = h.Cfg.AdaptiveReadahead
+	o.TrackAffinity = h.Cfg.TrackAffinity
 	return o
 }
 
@@ -208,6 +220,14 @@ func (h *Harness) measureImage(img *image.Image, w workloads.Workload, layout st
 		if tab := proc.AttributionTable(); tab != nil {
 			tab.Layout = layout
 			m.Attrib = tab
+		}
+		if g := proc.AffinityGraph(); g != nil {
+			g.Layout = layout
+			m.Affinity = g
+			// Cold starts apply no inter-window pressure; the card's value
+			// here is the locality and working-set view of the run.
+			m.Scorecard = affinity.Score(g,
+				affinity.NewPlacement(img.AttributionIndex().Symbols()), layout, 0)
 		}
 		proc.Close()
 		if o.Obs != nil {

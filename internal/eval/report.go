@@ -9,15 +9,19 @@ import (
 
 	"nimage/internal/core"
 	"nimage/internal/obs"
+	"nimage/internal/obs/affinity"
 	"nimage/internal/obs/attrib"
 	"nimage/internal/workloads"
 )
 
 // ReportSchema versions the consolidated run-report document. v2 added the
 // per-entry fault attribution table (merged over all builds × iterations)
-// and the per-measure attribution tables inside Runs; v3 adds the optional
-// per-entry serve-mode outcomes (burst telemetry under cache pressure).
-const ReportSchema = "nimage.report/v3"
+// and the per-measure attribution tables inside Runs; v3 added the optional
+// per-entry serve-mode outcomes (burst telemetry under cache pressure); v4
+// adds the per-entry temporal co-access affinity graph (merged over builds
+// and iterations, schema nimage.affinity/v1) and the per-measure layout
+// scorecards.
+const ReportSchema = "nimage.report/v4"
 
 // Report is the consolidated observability document the evaluation emits:
 // per workload and strategy, the build-pipeline snapshots (stage spans,
@@ -59,6 +63,11 @@ type ReportEntry struct {
 	// build and iteration of the entry (schema nimage.attrib/v1); nil
 	// unless the harness observes.
 	Attribution *attrib.Table `json:"attribution,omitempty"`
+	// Affinity is the temporal co-access graph merged over every build and
+	// iteration of the entry (schema nimage.affinity/v1); nil unless the
+	// harness observes or tracks affinity. The per-measure scorecards stay
+	// inside Measures/Serve.
+	Affinity *affinity.Graph `json:"affinity,omitempty"`
 	// HeapMatch is the object match breakdown of the last optimized build;
 	// nil for the baseline and for pure code strategies.
 	HeapMatch *core.MatchBreakdown `json:"heap_match,omitempty"`
@@ -102,6 +111,7 @@ func (h *Harness) Report(ws []workloads.Workload, strategies []string) (*Report,
 			Runs:        stripReports(base.Measures),
 			Measures:    scalarMeasures(base.Measures),
 			Attribution: mergedAttribution(base.Measures),
+			Affinity:    mergedAffinity(base.Measures),
 		})
 		for _, s := range strategies {
 			out, err := h.MeasureStrategy(w, s)
@@ -116,6 +126,7 @@ func (h *Harness) Report(ws []workloads.Workload, strategies []string) (*Report,
 				Runs:        stripReports(out.Measures),
 				Measures:    scalarMeasures(out.Measures),
 				Attribution: mergedAttribution(out.Measures),
+				Affinity:    mergedAffinity(out.Measures),
 			}
 			if out.HeapMatch.Strategy != "" {
 				hm := out.HeapMatch
@@ -153,6 +164,7 @@ func (h *Harness) ServeReport(w workloads.Workload, strategies []string, scfg Se
 			e.Strategy = s
 		}
 		var tabs []*attrib.Table
+		var graphs []*affinity.Graph
 		for _, o := range outs {
 			oc := *o
 			if oc.Report != nil {
@@ -163,10 +175,19 @@ func (h *Harness) ServeReport(w workloads.Workload, strategies []string, scfg Se
 				tabs = append(tabs, oc.Attrib)
 				oc.Attrib = nil
 			}
+			if oc.Affinity != nil {
+				// The merged graph lives once on the entry; the per-build
+				// scorecards stay on the outcomes.
+				graphs = append(graphs, oc.Affinity)
+				oc.Affinity = nil
+			}
 			e.Serve = append(e.Serve, &oc)
 		}
 		if len(tabs) > 0 {
 			e.Attribution = attrib.Merge(tabs...)
+		}
+		if len(graphs) > 0 {
+			e.Affinity = affinity.Merge(graphs...)
 		}
 		rep.Entries = append(rep.Entries, e)
 	}
@@ -184,15 +205,16 @@ func stripReports(ms []RunMeasure) []*obs.Snapshot {
 	return out
 }
 
-// scalarMeasures copies the measures without their snapshots and
-// attribution tables (the entry carries those once, in Runs and
-// Attribution).
+// scalarMeasures copies the measures without their snapshots, attribution
+// tables and affinity graphs (the entry carries those once, in Runs,
+// Attribution and Affinity); the small per-measure scorecards survive.
 func scalarMeasures(ms []RunMeasure) []RunMeasure {
 	out := make([]RunMeasure, len(ms))
 	copy(out, ms)
 	for i := range out {
 		out[i].Report = nil
 		out[i].Attrib = nil
+		out[i].Affinity = nil
 	}
 	return out
 }
@@ -210,6 +232,21 @@ func mergedAttribution(ms []RunMeasure) *attrib.Table {
 		return nil
 	}
 	return attrib.Merge(tabs...)
+}
+
+// mergedAffinity folds the per-iteration affinity graphs of the measures
+// into one graph (nil when the harness ran without affinity tracking).
+func mergedAffinity(ms []RunMeasure) *affinity.Graph {
+	var graphs []*affinity.Graph
+	for _, m := range ms {
+		if m.Affinity != nil {
+			graphs = append(graphs, m.Affinity)
+		}
+	}
+	if len(graphs) == 0 {
+		return nil
+	}
+	return affinity.Merge(graphs...)
 }
 
 // WriteJSON writes the report as an indented JSON document.

@@ -20,6 +20,7 @@ import (
 	"nimage/internal/image"
 	"nimage/internal/murmur"
 	"nimage/internal/obs"
+	"nimage/internal/obs/affinity"
 	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
@@ -136,6 +137,12 @@ type ServeOutcome struct {
 	// nil unless the harness observes.
 	Attrib *attrib.Table `json:"attrib,omitempty"`
 	Report *obs.Snapshot `json:"report,omitempty"`
+	// Affinity is the temporal co-access graph recorded over the whole
+	// serve run (startup plus every burst), and Scorecard its static score
+	// against the run's own layout under the config's pressure. Both nil
+	// unless the harness observes or tracks affinity.
+	Affinity  *affinity.Graph     `json:"affinity,omitempty"`
+	Scorecard *affinity.Scorecard `json:"scorecard,omitempty"`
 }
 
 // routeFor derives request k's route deterministically from the seed:
@@ -417,6 +424,13 @@ func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy stri
 	if tab := proc.AttributionTable(); tab != nil {
 		tab.Layout = strategy
 		out.Attrib = tab
+	}
+	if g := proc.AffinityGraph(); g != nil {
+		g.Layout = strategy
+		out.Affinity = g
+		out.Scorecard = affinity.Score(g,
+			affinity.NewPlacement(img.AttributionIndex().Symbols()),
+			strategy, scfg.PressurePct)
 	}
 	proc.Close()
 	if o.Obs != nil {

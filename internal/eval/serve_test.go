@@ -212,6 +212,10 @@ func TestServeDeterministicAcrossWorkers(t *testing.T) {
 		cfg.Builds = 2
 		cfg.Iterations = 1
 		cfg.Workers = workers
+		// Affinity graphs and scorecards are part of the determinism
+		// contract: reflect.DeepEqual below covers their every edge
+		// weight and window, for every worker count.
+		cfg.TrackAffinity = true
 		h := NewHarness(cfg)
 		outs, err := h.MeasureServe(w, "", scfg)
 		if err != nil {
@@ -260,7 +264,7 @@ func TestServeLatencyTable(t *testing.T) {
 	}
 }
 
-func TestServeReportV3(t *testing.T) {
+func TestServeReportV4(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Builds = 1
 	cfg.Iterations = 1
@@ -271,7 +275,7 @@ func TestServeReportV3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "nimage.report/v3" {
+	if rep.Schema != "nimage.report/v4" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if len(rep.Entries) != 1 {
@@ -284,14 +288,18 @@ func TestServeReportV3(t *testing.T) {
 	if len(e.Serve) != cfg.Builds {
 		t.Fatalf("entry carries %d serve outcomes, want %d", len(e.Serve), cfg.Builds)
 	}
-	// Snapshots and attribution are hoisted out of the outcomes into the
-	// entry, like the cold-start report does with measures.
-	if len(e.Runs) != cfg.Builds || e.Attribution == nil {
-		t.Fatalf("runs=%d attribution=%v", len(e.Runs), e.Attribution != nil)
+	// Snapshots, attribution and affinity are hoisted out of the outcomes
+	// into the entry, like the cold-start report does with measures.
+	if len(e.Runs) != cfg.Builds || e.Attribution == nil || e.Affinity == nil {
+		t.Fatalf("runs=%d attribution=%v affinity=%v",
+			len(e.Runs), e.Attribution != nil, e.Affinity != nil)
 	}
 	for _, o := range e.Serve {
-		if o.Report != nil || o.Attrib != nil {
-			t.Error("serve outcome still embeds its snapshot/attribution")
+		if o.Report != nil || o.Attrib != nil || o.Affinity != nil {
+			t.Error("serve outcome still embeds its snapshot/attribution/affinity")
+		}
+		if o.Scorecard == nil {
+			t.Error("serve outcome lost its layout scorecard")
 		}
 	}
 	var buf bytes.Buffer

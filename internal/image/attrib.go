@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nimage/internal/heap"
+	"nimage/internal/obs/affinity"
 	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 )
@@ -107,4 +108,17 @@ func (p *Process) AttributionTable() *attrib.Table {
 	t := p.Attrib.Table()
 	t.Workload = p.Img.Program.Name
 	return t
+}
+
+// AffinityGraph returns the temporal co-access affinity graph of the
+// process's run. Nil when the process was started without affinity
+// tracking (no obs registry and OS.TrackAffinity unset). The caller
+// fills Layout (the image does not know its strategy's name).
+func (p *Process) AffinityGraph() *affinity.Graph {
+	if p.Affinity == nil {
+		return nil
+	}
+	g := p.Affinity.Graph()
+	g.Workload = p.Img.Program.Name
+	return g
 }

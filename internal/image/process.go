@@ -9,6 +9,7 @@ import (
 	"nimage/internal/ir"
 	"nimage/internal/murmur"
 	"nimage/internal/obs"
+	"nimage/internal/obs/affinity"
 	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 	"nimage/internal/vm"
@@ -43,6 +44,12 @@ type Process struct {
 	// the mapping (attached when the OS has an obs registry or sets
 	// AttributeFaults). Read results via AttributionTable.
 	Attrib *attrib.Recorder
+
+	// Affinity, when non-nil, is the temporal co-access recorder observing
+	// the mapping's access, fault and eviction streams (attached when the
+	// OS has an obs registry or sets TrackAffinity). Read results via
+	// AffinityGraph.
+	Affinity *affinity.Recorder
 
 	// AccessedObjects counts distinct snapshot objects touched (Sec. 7.2
 	// reports that AWFY accesses ~4% of them).
@@ -84,6 +91,20 @@ func (img *Image) NewProcess(o *osim.OS, extra vm.Hooks) (*Process, error) {
 		p.Mapping.Observer = p.Attrib
 		p.Mapping.EvictObserver = p.Attrib
 	}
+	// Attach the temporal co-access recorder; both recorders observe the
+	// same fault/eviction streams, so the single observer slots fan out
+	// when attribution is active too.
+	if o.Obs.Enabled() || o.TrackAffinity {
+		p.Affinity = affinity.NewRecorder(img.AttributionIndex(), affinity.Config{})
+		p.Mapping.AccessObserver = p.Affinity
+		if p.Attrib != nil {
+			p.Mapping.Observer = faultFan{p.Attrib, p.Affinity}
+			p.Mapping.EvictObserver = evictFan{p.Attrib, p.Affinity}
+		} else {
+			p.Mapping.Observer = p.Affinity
+			p.Mapping.EvictObserver = p.Affinity
+		}
+	}
 
 	// Program startup maps the binary, reads the header page, and runs the
 	// native startup code (libc init, ELF entry): a fixed pseudo-random
@@ -99,6 +120,24 @@ func (img *Image) NewProcess(o *osim.OS, extra vm.Hooks) (*Process, error) {
 		p.Mapping.Touch(img.NativeOff + page*osim.PageSize)
 	}
 	return p, nil
+}
+
+// faultFan / evictFan broadcast one mapping's observer slot to several
+// recorders (attribution and affinity observe the same streams).
+type faultFan []osim.FaultObserver
+
+func (f faultFan) OnFault(ev osim.FaultEvent) {
+	for _, o := range f {
+		o.OnFault(ev)
+	}
+}
+
+type evictFan []osim.EvictionObserver
+
+func (f evictFan) OnEvict(ev osim.EvictionEvent) {
+	for _, o := range f {
+		o.OnEvict(ev)
+	}
 }
 
 // hooks wires the interpreter's events to page touches.
@@ -199,6 +238,9 @@ func (p *Process) Close() {
 	p.closed = true
 	if p.Attrib != nil {
 		p.Attrib.Finish(p.Mapping.PageClasses())
+	}
+	if p.Affinity != nil {
+		p.Affinity.Finish()
 	}
 	if r := p.obs; r.Enabled() {
 		st := p.Stats()

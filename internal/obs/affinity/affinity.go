@@ -1,0 +1,666 @@
+// Package affinity records temporal symbol co-access affinity from the
+// simulated page-event streams: which CUs and heap objects are hot
+// *together* over time, not just which faulted first. First-touch order
+// (what the profile-guided layouts of the paper consume) is enough to
+// compact the cold-start path, but the graph-based layouts the ROADMAP
+// points at next — C3-style balanced partitioning, ext-TSP ordering
+// (Newell & Pupyrev) — and any latency-SLO rebake loop need an affinity
+// signal: edge weights between symbols that share working-set windows.
+//
+// The pieces: a Recorder attaches to one osim mapping as FaultObserver,
+// EvictionObserver and AccessObserver, folding the coarse page-access
+// stream into a sliding co-residency window and a weighted symbol×symbol
+// graph (co-occurrence edges within a window, transition edges between
+// consecutive accesses, per-window decay, bounded edge budget); a Graph
+// is the serializable result; Score (score.go) turns graph × layout into
+// a per-strategy scorecard — the static proxy for MeasureServe. Codecs
+// live in codec.go (JSON), dot.go (GraphViz), trace.go (Chrome trace).
+//
+// Every event charges exactly one node (the page's representative
+// symbol), so node sums reconcile exactly with osim's mapping and file
+// counters — the same contract the attrib recorder enforces per section,
+// asserted by tests, not assumed.
+package affinity
+
+import (
+	"sort"
+
+	"nimage/internal/obs/attrib"
+	"nimage/internal/osim"
+)
+
+// GraphSchema versions the serialized affinity document.
+const GraphSchema = "nimage.affinity/v1"
+
+// Config bounds the recorder's memory and sets its temporal resolution.
+// The zero value means "use defaults" (DefaultConfig).
+type Config struct {
+	// WindowEvents is the co-residency window length in coarse access
+	// events: symbols accessed within the same window gain co-occurrence
+	// edge weight.
+	WindowEvents int `json:"window_events"`
+	// MaxEdges bounds the edge set; when exceeded after a window
+	// rotation, the lightest edges are pruned (their raw counts move to
+	// the Pruned* totals so reconciliation stays exact).
+	MaxEdges int `json:"max_edges"`
+	// Decay multiplies every edge weight at each window rotation, so the
+	// weights favour recent co-access (serve-mode bursts) over startup
+	// history. Raw Co/Trans counts are never decayed.
+	Decay float64 `json:"decay"`
+	// MaxWindows bounds the retained window log (the Chrome-trace track
+	// and the scorecard replay input); older windows are dropped and
+	// counted in DroppedWindows.
+	MaxWindows int `json:"max_windows"`
+	// MaxWindowSymbols caps the distinct symbols recorded per window
+	// (the co-occurrence fold is quadratic in it). Overflowing accesses
+	// still count; their window membership is dropped and counted in
+	// OverflowEvents.
+	MaxWindowSymbols int `json:"max_window_symbols"`
+}
+
+// DefaultConfig returns the recorder defaults.
+func DefaultConfig() Config {
+	return Config{WindowEvents: 32, MaxEdges: 4096, Decay: 0.95, MaxWindows: 256, MaxWindowSymbols: 128}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.WindowEvents <= 0 {
+		c.WindowEvents = d.WindowEvents
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = d.MaxEdges
+	}
+	if !(c.Decay > 0 && c.Decay <= 1) {
+		c.Decay = d.Decay
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = d.MaxWindows
+	}
+	if c.MaxWindowSymbols <= 0 {
+		c.MaxWindowSymbols = d.MaxWindowSymbols
+	}
+	return c
+}
+
+// KindUnattributed marks pseudo-nodes for pages no indexed symbol covers.
+const KindUnattributed = "unattributed"
+
+// Node is one vertex of the affinity graph: a layout symbol (or the
+// per-section pseudo-symbol for uncovered pages) with its event counts.
+type Node struct {
+	// Name, Type, Kind, Section, Off, Len mirror attrib.Symbol; names are
+	// build-stable, so graphs score against other layouts of the same
+	// program by name.
+	Name    string `json:"name"`
+	Type    string `json:"type,omitempty"`
+	Kind    string `json:"kind"`
+	Section string `json:"section,omitempty"`
+	Off     int64  `json:"off"`
+	Len     int64  `json:"len"`
+	// Accesses counts coarse page-access events charged to the node.
+	Accesses int64 `json:"accesses"`
+	// Faults/Major/Refaults/Evictions are the node's share of the osim
+	// event streams. Each event charges exactly one node, so these sum to
+	// the mapping and file counters.
+	Faults    int64 `json:"faults"`
+	Major     int64 `json:"major"`
+	Refaults  int64 `json:"refaults,omitempty"`
+	Evictions int64 `json:"evictions,omitempty"`
+	// FirstClock is the OS access clock of the node's first access
+	// (0 = never accessed, e.g. evicted without being touched here).
+	FirstClock int64 `json:"first_clock,omitempty"`
+}
+
+// Edge is one undirected affinity edge between Nodes[A] and Nodes[B]
+// (A < B). Weight is the decayed affinity used for ranking and scoring;
+// Co and Trans are the raw (undecayed) event counts, which reconcile
+// exactly against the graph totals.
+type Edge struct {
+	A      int32   `json:"a"`
+	B      int32   `json:"b"`
+	Weight float64 `json:"weight"`
+	Co     int64   `json:"co"`
+	Trans  int64   `json:"trans,omitempty"`
+}
+
+// Window is one completed co-residency window of the log: the distinct
+// nodes accessed during WindowEvents consecutive coarse accesses.
+type Window struct {
+	// Start is the OS access clock at the window's first event.
+	Start int64 `json:"start_clock"`
+	// Events is the window's coarse access count (the last window of a
+	// run may be shorter than Config.WindowEvents).
+	Events int `json:"events"`
+	// Nodes indexes Graph.Nodes, in first-access order.
+	Nodes []int32 `json:"nodes"`
+}
+
+// Graph is the serializable affinity result of one (or several merged)
+// recorded runs.
+type Graph struct {
+	Schema string `json:"schema"`
+	// Workload and Layout describe what was recorded ("serve-api", "cu").
+	Workload string `json:"workload,omitempty"`
+	Layout   string `json:"layout,omitempty"`
+	FileSize int64  `json:"file_size"`
+	Pages    int    `json:"pages"`
+	Config   Config `json:"config"`
+
+	// Stream totals. Faults/Major/Refaults reconcile with the observed
+	// osim.Mapping, Evictions with the file; AccessEvents counts coarse
+	// accesses, Windows completed windows.
+	AccessEvents int64 `json:"access_events"`
+	Faults       int64 `json:"faults"`
+	Major        int64 `json:"major"`
+	Refaults     int64 `json:"refaults,omitempty"`
+	Evictions    int64 `json:"evictions,omitempty"`
+	Windows      int64 `json:"windows"`
+
+	// Edge-event totals: every transition and co-occurrence lands on
+	// exactly one edge or in the Pruned* buckets, so
+	// sum(Edges.Trans)+PrunedTrans == Transitions and
+	// sum(Edges.Co)+PrunedCo == Cooccurrences.
+	Transitions   int64 `json:"transitions"`
+	Cooccurrences int64 `json:"cooccurrences"`
+	PrunedEdges   int64 `json:"pruned_edges,omitempty"`
+	PrunedCo      int64 `json:"pruned_co,omitempty"`
+	PrunedTrans   int64 `json:"pruned_trans,omitempty"`
+	// PrunedWeight is the decayed weight removed by edge-budget pruning
+	// (reported so bounded recording is never a silent truncation).
+	PrunedWeight float64 `json:"pruned_weight,omitempty"`
+	// DroppedWindows counts windows aged out of the bounded log;
+	// OverflowEvents accesses whose window membership was dropped by
+	// MaxWindowSymbols.
+	DroppedWindows int64 `json:"dropped_windows,omitempty"`
+	OverflowEvents int64 `json:"overflow_events,omitempty"`
+
+	// Sections reconciles with osim's per-section fault and eviction
+	// counters, exactly like the attribution table's totals.
+	Sections []attrib.SectionTotal `json:"sections"`
+	// Nodes lists every symbol with any activity; Edges is sorted by
+	// Weight descending (ties: A, then B ascending).
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+	// WindowLog is the retained co-residency window history, oldest
+	// first — the input of the scorecard replay and the trace export.
+	WindowLog []Window `json:"window_log,omitempty"`
+}
+
+// Section returns the named section total (zero value if absent).
+func (g *Graph) Section(name string) attrib.SectionTotal {
+	for _, s := range g.Sections {
+		if s.Section == name {
+			return s
+		}
+	}
+	return attrib.SectionTotal{Section: name}
+}
+
+// Node returns the named node and whether it exists.
+func (g *Graph) Node(name string) (Node, bool) {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// TotalWeight sums the surviving edge weights plus the pruned weight —
+// the graph's full recorded affinity mass.
+func (g *Graph) TotalWeight() float64 {
+	w := g.PrunedWeight
+	for _, e := range g.Edges {
+		w += e.Weight
+	}
+	return w
+}
+
+type edgeKey struct{ a, b int32 }
+
+type edgeCount struct {
+	weight float64
+	co     int64
+	trans  int64
+}
+
+// Recorder folds one mapping's access, fault and eviction streams into an
+// affinity graph. It implements osim.AccessObserver, osim.FaultObserver
+// and osim.EvictionObserver; attach it to a Mapping before the first
+// touch. Not safe for concurrent use (one recorder per mapping).
+type Recorder struct {
+	ix  *attrib.Index
+	cfg Config
+
+	nodes   []Node  // symbol nodes, then lazily allocated pseudo-nodes
+	pageRep []int32 // page -> node id of the page's first symbol, -1 if none
+	pseudo  map[int]int32
+
+	edges     map[edgeKey]*edgeCount
+	bySection map[int]*attrib.SectionTotal
+	// evictedPage mirrors osim's re-fault arming: set by pressure/budget
+	// evictions, cleared by DropCaches.
+	evictedPage []bool
+
+	accessEvents, faults, major, refaults, evictions int64
+	transitions, cooccur, windows                    int64
+	droppedWindows, overflowEvents                   int64
+	prunedEdges, prunedCo, prunedTrans               int64
+	prunedWeight                                     float64
+
+	winNodes  []int32
+	winSeen   map[int32]bool
+	winStart  int64
+	winEvents int
+	prevNode  int32
+	log       []Window
+
+	finished bool
+}
+
+// NewRecorder creates a recorder over the layout index with the given
+// config (zero value = defaults).
+func NewRecorder(ix *attrib.Index, cfg Config) *Recorder {
+	r := &Recorder{
+		ix:          ix,
+		cfg:         cfg.withDefaults(),
+		nodes:       make([]Node, len(ix.Symbols())),
+		pageRep:     make([]int32, ix.Pages()),
+		pseudo:      make(map[int]int32),
+		edges:       make(map[edgeKey]*edgeCount),
+		bySection:   make(map[int]*attrib.SectionTotal),
+		evictedPage: make([]bool, ix.Pages()),
+		winSeen:     make(map[int32]bool),
+		prevNode:    -1,
+	}
+	for i, s := range ix.Symbols() {
+		r.nodes[i] = Node{Name: s.Name, Type: s.Type, Kind: s.Kind, Section: s.Section, Off: s.Off, Len: s.Len}
+	}
+	for p := range r.pageRep {
+		if syms := ix.SymbolsOnPage(p); len(syms) > 0 {
+			r.pageRep[p] = int32(syms[0])
+		} else {
+			r.pageRep[p] = -1
+		}
+	}
+	return r
+}
+
+// nodeFor resolves a page event to the single node it charges: the
+// page's representative symbol (the first symbol overlapping it), or the
+// per-section pseudo-node for uncovered pages.
+func (r *Recorder) nodeFor(page, section int) int32 {
+	if page >= 0 && page < len(r.pageRep) {
+		if id := r.pageRep[page]; id >= 0 {
+			return id
+		}
+	}
+	if id, ok := r.pseudo[section]; ok {
+		return id
+	}
+	id := int32(len(r.nodes))
+	sec := r.ix.SectionName(section)
+	r.nodes = append(r.nodes, Node{
+		Name: "<unattributed:" + sec + ">", Kind: KindUnattributed, Section: sec,
+	})
+	r.pseudo[section] = id
+	return id
+}
+
+func (r *Recorder) section(idx int) *attrib.SectionTotal {
+	st := r.bySection[idx]
+	if st == nil {
+		st = &attrib.SectionTotal{Section: r.ix.SectionName(idx)}
+		r.bySection[idx] = st
+	}
+	return st
+}
+
+// OnAccess folds one coarse page access into the window and the
+// transition edges.
+func (r *Recorder) OnAccess(ev osim.AccessEvent) {
+	id := r.nodeFor(ev.Page, ev.Section)
+	n := &r.nodes[id]
+	n.Accesses++
+	if n.FirstClock == 0 {
+		n.FirstClock = ev.Clock
+	}
+	r.accessEvents++
+	if r.winEvents == 0 {
+		r.winStart = ev.Clock
+	}
+	if !r.winSeen[id] {
+		if len(r.winNodes) < r.cfg.MaxWindowSymbols {
+			r.winSeen[id] = true
+			r.winNodes = append(r.winNodes, id)
+		} else {
+			r.overflowEvents++
+		}
+	}
+	if r.prevNode >= 0 && r.prevNode != id {
+		e := r.edge(r.prevNode, id)
+		e.weight++
+		e.trans++
+		r.transitions++
+	}
+	r.prevNode = id
+	r.winEvents++
+	if r.winEvents >= r.cfg.WindowEvents {
+		r.rotate()
+	}
+}
+
+// OnFault charges one fault to the faulting page's node and its section
+// total (the event's own classification, so the totals reconcile with
+// osim's counters by construction).
+func (r *Recorder) OnFault(ev osim.FaultEvent) {
+	st := r.section(ev.Section)
+	if ev.Major {
+		st.Major++
+		r.major++
+	} else {
+		st.Minor++
+	}
+	st.IONanos += ev.IONanos
+	r.faults++
+	id := r.nodeFor(ev.Page, ev.Section)
+	n := &r.nodes[id]
+	n.Faults++
+	if ev.Major {
+		n.Major++
+		if ev.Page >= 0 && ev.Page < len(r.evictedPage) && r.evictedPage[ev.Page] {
+			st.Refaults++
+			n.Refaults++
+			r.refaults++
+		}
+	}
+}
+
+// OnEvict charges one eviction and arms (or, for DropCaches, disarms)
+// the page's re-fault tracking.
+func (r *Recorder) OnEvict(ev osim.EvictionEvent) {
+	st := r.section(ev.Section)
+	st.Evicted++
+	r.evictions++
+	if ev.Page >= 0 && ev.Page < len(r.evictedPage) {
+		r.evictedPage[ev.Page] = ev.Cause != osim.EvictDrop
+	}
+	r.nodes[r.nodeFor(ev.Page, ev.Section)].Evictions++
+}
+
+func (r *Recorder) edge(a, b int32) *edgeCount {
+	if a > b {
+		a, b = b, a
+	}
+	k := edgeKey{a, b}
+	e := r.edges[k]
+	if e == nil {
+		e = &edgeCount{}
+		r.edges[k] = e
+	}
+	return e
+}
+
+// rotate completes the current window: age every edge by the decay,
+// fold the window's co-occurrence pairs in, log the window, and enforce
+// the edge budget.
+func (r *Recorder) rotate() {
+	if r.winEvents == 0 {
+		return
+	}
+	for _, e := range r.edges {
+		e.weight *= r.cfg.Decay
+	}
+	for i := 0; i < len(r.winNodes); i++ {
+		for j := i + 1; j < len(r.winNodes); j++ {
+			e := r.edge(r.winNodes[i], r.winNodes[j])
+			e.weight++
+			e.co++
+			r.cooccur++
+		}
+	}
+	r.windows++
+	r.log = append(r.log, Window{
+		Start:  r.winStart,
+		Events: r.winEvents,
+		Nodes:  append([]int32(nil), r.winNodes...),
+	})
+	if len(r.log) > r.cfg.MaxWindows {
+		n := copy(r.log, r.log[len(r.log)-r.cfg.MaxWindows:])
+		r.log = r.log[:n]
+		r.droppedWindows++
+	}
+	r.prune()
+	r.winNodes = r.winNodes[:0]
+	for k := range r.winSeen {
+		delete(r.winSeen, k)
+	}
+	r.winEvents = 0
+}
+
+// prune enforces the edge budget deterministically: edges sorted by
+// weight descending (ties by node ids) survive; the rest move their raw
+// counts into the Pruned* buckets so the totals stay exact.
+func (r *Recorder) prune() {
+	if len(r.edges) <= r.cfg.MaxEdges {
+		return
+	}
+	type kv struct {
+		k edgeKey
+		e *edgeCount
+	}
+	all := make([]kv, 0, len(r.edges))
+	for k, e := range r.edges {
+		all = append(all, kv{k, e})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].e.weight != all[j].e.weight {
+			return all[i].e.weight > all[j].e.weight
+		}
+		if all[i].k.a != all[j].k.a {
+			return all[i].k.a < all[j].k.a
+		}
+		return all[i].k.b < all[j].k.b
+	})
+	for _, v := range all[r.cfg.MaxEdges:] {
+		r.prunedEdges++
+		r.prunedWeight += v.e.weight
+		r.prunedCo += v.e.co
+		r.prunedTrans += v.e.trans
+		delete(r.edges, v.k)
+	}
+}
+
+// Finish completes the trailing partial window. Call once after the run;
+// Graph calls it implicitly.
+func (r *Recorder) Finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.rotate()
+}
+
+// Graph assembles the affinity graph: active nodes (any event charged),
+// edges sorted by weight descending, and the retained window log, all
+// re-indexed to the emitted node order.
+func (r *Recorder) Graph() *Graph {
+	r.Finish()
+	g := &Graph{
+		Schema:         GraphSchema,
+		FileSize:       r.ix.FileSize,
+		Pages:          r.ix.Pages(),
+		Config:         r.cfg,
+		AccessEvents:   r.accessEvents,
+		Faults:         r.faults,
+		Major:          r.major,
+		Refaults:       r.refaults,
+		Evictions:      r.evictions,
+		Windows:        r.windows,
+		Transitions:    r.transitions,
+		Cooccurrences:  r.cooccur,
+		PrunedEdges:    r.prunedEdges,
+		PrunedCo:       r.prunedCo,
+		PrunedTrans:    r.prunedTrans,
+		PrunedWeight:   r.prunedWeight,
+		DroppedWindows: r.droppedWindows,
+		OverflowEvents: r.overflowEvents,
+	}
+	var secIdxs []int
+	for i := range r.bySection {
+		secIdxs = append(secIdxs, i)
+	}
+	sort.Ints(secIdxs)
+	for _, i := range secIdxs {
+		g.Sections = append(g.Sections, *r.bySection[i])
+	}
+	remap := make([]int32, len(r.nodes))
+	for i, n := range r.nodes {
+		if n.Accesses > 0 || n.Faults > 0 || n.Evictions > 0 {
+			remap[i] = int32(len(g.Nodes))
+			g.Nodes = append(g.Nodes, n)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for k, e := range r.edges {
+		g.Edges = append(g.Edges, Edge{
+			A: remap[k.a], B: remap[k.b], Weight: e.weight, Co: e.co, Trans: e.trans,
+		})
+	}
+	rankEdges(g.Edges)
+	for _, w := range r.log {
+		nw := Window{Start: w.Start, Events: w.Events, Nodes: make([]int32, len(w.Nodes))}
+		for i, id := range w.Nodes {
+			nw.Nodes[i] = remap[id]
+		}
+		g.WindowLog = append(g.WindowLog, nw)
+	}
+	return g
+}
+
+func rankEdges(es []Edge) {
+	sort.SliceStable(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+}
+
+// Merge combines affinity graphs — e.g. the per-iteration graphs of one
+// eval entry — by node name: node counts add, edges add weight and raw
+// counts keyed by their endpoint names, window logs concatenate in
+// argument order (re-bounded by the merged config). Nil graphs are
+// skipped. Node offsets come from the first graph naming the node, so
+// merging graphs of different layouts is meaningful only for the
+// name-keyed counts.
+func Merge(graphs ...*Graph) *Graph {
+	out := &Graph{Schema: GraphSchema}
+	nodeIdx := make(map[string]int32)
+	secIdx := make(map[string]int)
+	type nameEdge struct{ a, b int32 }
+	edgeIdx := make(map[nameEdge]int)
+	for _, g := range graphs {
+		if g == nil {
+			continue
+		}
+		if out.Workload == "" {
+			out.Workload, out.Layout = g.Workload, g.Layout
+		}
+		if out.Config == (Config{}) {
+			out.Config = g.Config
+		}
+		if g.FileSize > out.FileSize {
+			out.FileSize = g.FileSize
+		}
+		if g.Pages > out.Pages {
+			out.Pages = g.Pages
+		}
+		out.AccessEvents += g.AccessEvents
+		out.Faults += g.Faults
+		out.Major += g.Major
+		out.Refaults += g.Refaults
+		out.Evictions += g.Evictions
+		out.Windows += g.Windows
+		out.Transitions += g.Transitions
+		out.Cooccurrences += g.Cooccurrences
+		out.PrunedEdges += g.PrunedEdges
+		out.PrunedCo += g.PrunedCo
+		out.PrunedTrans += g.PrunedTrans
+		out.PrunedWeight += g.PrunedWeight
+		out.DroppedWindows += g.DroppedWindows
+		out.OverflowEvents += g.OverflowEvents
+		for _, s := range g.Sections {
+			i, ok := secIdx[s.Section]
+			if !ok {
+				secIdx[s.Section] = len(out.Sections)
+				out.Sections = append(out.Sections, s)
+				continue
+			}
+			t := &out.Sections[i]
+			t.Major += s.Major
+			t.Minor += s.Minor
+			t.IONanos += s.IONanos
+			t.Evicted += s.Evicted
+			t.Refaults += s.Refaults
+		}
+		local := make([]int32, len(g.Nodes))
+		for i, n := range g.Nodes {
+			id, ok := nodeIdx[n.Name]
+			if !ok {
+				id = int32(len(out.Nodes))
+				nodeIdx[n.Name] = id
+				out.Nodes = append(out.Nodes, n)
+				local[i] = id
+				continue
+			}
+			local[i] = id
+			m := &out.Nodes[id]
+			m.Accesses += n.Accesses
+			m.Faults += n.Faults
+			m.Major += n.Major
+			m.Refaults += n.Refaults
+			m.Evictions += n.Evictions
+			if n.FirstClock > 0 && (m.FirstClock == 0 || n.FirstClock < m.FirstClock) {
+				m.FirstClock = n.FirstClock
+			}
+		}
+		for _, e := range g.Edges {
+			a, b := local[e.A], local[e.B]
+			if a > b {
+				a, b = b, a
+			}
+			k := nameEdge{a, b}
+			i, ok := edgeIdx[k]
+			if !ok {
+				edgeIdx[k] = len(out.Edges)
+				out.Edges = append(out.Edges, Edge{A: a, B: b, Weight: e.Weight, Co: e.Co, Trans: e.Trans})
+				continue
+			}
+			out.Edges[i].Weight += e.Weight
+			out.Edges[i].Co += e.Co
+			out.Edges[i].Trans += e.Trans
+		}
+		for _, w := range g.WindowLog {
+			nw := Window{Start: w.Start, Events: w.Events, Nodes: make([]int32, len(w.Nodes))}
+			for i, id := range w.Nodes {
+				nw.Nodes[i] = local[id]
+			}
+			out.WindowLog = append(out.WindowLog, nw)
+		}
+	}
+	sort.Slice(out.Sections, func(i, j int) bool { return out.Sections[i].Section < out.Sections[j].Section })
+	rankEdges(out.Edges)
+	cfg := out.Config.withDefaults()
+	if len(out.WindowLog) > cfg.MaxWindows {
+		out.DroppedWindows += int64(len(out.WindowLog) - cfg.MaxWindows)
+		out.WindowLog = append([]Window(nil), out.WindowLog[len(out.WindowLog)-cfg.MaxWindows:]...)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package affinity
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// validGraphBytes serializes a small recorded graph.
+func validGraphBytes(t testing.TB) []byte {
+	r := NewRecorder(testIndex(), Config{WindowEvents: 2})
+	for i, p := range []int{0, 1, 2, 3, 0, 2} {
+		access(r, p, int64(i+1))
+	}
+	g := r.Graph()
+	g.Workload, g.Layout = "w", "identity"
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadGraphRejectsHostileInput covers the decoder's validation
+// paths: wrong schema, out-of-range indices, non-finite weights, and
+// bound-busting counts — the same contract the codec fuzzer drives.
+func TestReadGraphRejectsHostileInput(t *testing.T) {
+	cases := map[string]struct {
+		data    string
+		wantErr string
+	}{
+		"empty":      {"", "decoding graph"},
+		"not-json":   {"{", "decoding graph"},
+		"bad-schema": {`{"schema":"nimage.attrib/v1"}`, "unsupported schema"},
+		"negative-pages": {
+			`{"schema":"nimage.affinity/v1","file_size":-1,"pages":-3,"config":{}}`,
+			"negative file size or page count"},
+		"edge-out-of-range": {
+			`{"schema":"nimage.affinity/v1","config":{},
+			  "nodes":[{"name":"a","kind":"cu"}],
+			  "edges":[{"a":0,"b":5,"weight":1}]}`,
+			"endpoint out of node range"},
+		"edge-unordered": {
+			`{"schema":"nimage.affinity/v1","config":{},
+			  "nodes":[{"name":"a","kind":"cu"},{"name":"b","kind":"cu"}],
+			  "edges":[{"a":1,"b":0,"weight":1}]}`,
+			"endpoints not ordered"},
+		"edge-negative-weight": {
+			`{"schema":"nimage.affinity/v1","config":{},
+			  "nodes":[{"name":"a","kind":"cu"},{"name":"b","kind":"cu"}],
+			  "edges":[{"a":0,"b":1,"weight":-2}]}`,
+			"finite non-negative"},
+		"window-node-out-of-range": {
+			`{"schema":"nimage.affinity/v1","config":{},
+			  "nodes":[{"name":"a","kind":"cu"}],
+			  "window_log":[{"start_clock":1,"events":1,"nodes":[7]}]}`,
+			"out of range"},
+		"negative-node-counter": {
+			`{"schema":"nimage.affinity/v1","config":{},
+			  "nodes":[{"name":"a","kind":"cu","faults":-1}]}`,
+			"negative counter"},
+		"empty-node-name": {
+			`{"schema":"nimage.affinity/v1","config":{},
+			  "nodes":[{"name":"","kind":"cu"}]}`,
+			"empty name"},
+		"decay-out-of-bounds": {
+			`{"schema":"nimage.affinity/v1","config":{"decay":3}}`,
+			"config out of bounds"},
+		"negative-total": {
+			`{"schema":"nimage.affinity/v1","config":{},"faults":-4}`,
+			"negative total counter"},
+	}
+	for name, tc := range cases {
+		_, err := ReadGraph(strings.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: hostile input accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// FuzzAffinityCodec asserts the graph decoder never panics, and that any
+// document it accepts re-encodes canonically: encode(decode(data)) must
+// be a fixed point of a further decode/encode round trip.
+func FuzzAffinityCodec(f *testing.F) {
+	valid := validGraphBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"schema":"nimage.affinity/v1","config":{}}`))
+	f.Add([]byte(`{"schema":"nimage.affinity/v1","config":{"decay":0.5},` +
+		`"nodes":[{"name":"a","kind":"cu"},{"name":"b","kind":"object"}],` +
+		`"edges":[{"a":0,"b":1,"weight":2.5,"co":3}],` +
+		`"window_log":[{"start_clock":1,"events":2,"nodes":[0,1]}]}`))
+	f.Add([]byte(`{"schema":"nimage.affinity/v1","config":{},"edges":[{"a":0,"b":1,"weight":1e999}]}`))
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGraph(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := WriteGraph(&b1, g); err != nil {
+			t.Fatalf("re-encoding accepted graph: %v", err)
+		}
+		g2, err := ReadGraph(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := WriteGraph(&b2, g2); err != nil {
+			t.Fatalf("re-encoding round-tripped graph: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("graph encoding is not canonical under round trip")
+		}
+	})
+}
+
+// TestExporters smoke-tests the DOT and Chrome-trace writers on a
+// recorded graph: valid JSON for the trace, balanced braces and the top
+// edge present for the DOT.
+func TestExporters(t *testing.T) {
+	r := NewRecorder(testIndex(), Config{WindowEvents: 2})
+	for i, p := range []int{0, 2, 1, 3, 0, 2} {
+		access(r, p, int64(i+1))
+	}
+	g := r.Graph()
+	g.Workload, g.Layout = "w", "identity"
+
+	var dot bytes.Buffer
+	if err := WriteDOT(&dot, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := dot.String()
+	if !strings.HasPrefix(s, "graph affinity {") || !strings.HasSuffix(s, "}\n") {
+		t.Fatalf("dot framing:\n%s", s)
+	}
+	if !strings.Contains(s, "--") || !strings.Contains(s, "penwidth") {
+		t.Fatalf("dot missing edges:\n%s", s)
+	}
+	if got := strings.Count(s, " -- "); got != 1 {
+		t.Fatalf("dot edge count = %d, want 1 (top=1)", got)
+	}
+
+	var tr bytes.Buffer
+	if err := WriteChromeTrace(&tr, g); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(tr.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	evs, ok := doc["traceEvents"].([]any)
+	if !ok || len(evs) == 0 {
+		t.Fatal("trace has no events")
+	}
+}

@@ -1,0 +1,70 @@
+package affinity
+
+// GraphViz export: the top affinity edges as an undirected DOT graph,
+// for `dot -Tsvg` / `neato`. Node fill distinguishes sections; edge
+// penwidth scales with affinity weight. Output is deterministic (edges
+// in rank order, nodes in first-use order).
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT writes the top edges of the graph as GraphViz DOT. top <= 0
+// writes every edge.
+func WriteDOT(w io.Writer, g *Graph, top int) error {
+	edges := g.Edges
+	if top > 0 && top < len(edges) {
+		edges = edges[:top]
+	}
+	var b strings.Builder
+	name := g.Workload
+	if g.Layout != "" {
+		name += " " + g.Layout
+	}
+	fmt.Fprintf(&b, "graph affinity {\n")
+	fmt.Fprintf(&b, "  label=%q; labelloc=top;\n", strings.TrimSpace(name+" affinity"))
+	fmt.Fprintf(&b, "  node [shape=box, style=filled, fontsize=10];\n")
+	var maxW float64
+	for _, e := range edges {
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+	emitted := make(map[int32]bool)
+	emitNode := func(id int32) {
+		if emitted[id] {
+			return
+		}
+		emitted[id] = true
+		n := g.Nodes[id]
+		fill := "lightgray"
+		switch n.Section {
+		case ".text":
+			fill = "lightblue"
+		case ".svm_heap":
+			fill = "lightsalmon"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, fillcolor=%q];\n",
+			id, fmt.Sprintf("%s\n(%s)", n.Name, n.Kind), fill)
+	}
+	for _, e := range edges {
+		emitNode(e.A)
+		emitNode(e.B)
+	}
+	for _, e := range edges {
+		pen := 0.5
+		if maxW > 0 {
+			pen = 0.5 + 2.5*e.Weight/maxW
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [penwidth=%.2f, label=%q];\n",
+			e.A, e.B, pen, fmt.Sprintf("%.1f", e.Weight))
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("affinity: writing dot: %w", err)
+	}
+	return nil
+}

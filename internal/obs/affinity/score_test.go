@@ -1,0 +1,83 @@
+package affinity
+
+import (
+	"testing"
+
+	"nimage/internal/obs/attrib"
+	"nimage/internal/osim"
+)
+
+// scoreGraph records a stream where pages 0 and 2 (nodes <header>/A and
+// hub/O2 areas) are always hot together across many windows.
+func scoreGraph(t *testing.T) *Graph {
+	t.Helper()
+	r := NewRecorder(testIndex(), Config{WindowEvents: 4})
+	clock := int64(0)
+	for w := 0; w < 8; w++ {
+		for _, p := range []int{0, 2, 0, 2} {
+			clock++
+			access(r, p, clock)
+		}
+	}
+	g := r.Graph()
+	g.Workload = "w"
+	return g
+}
+
+func placeAt(offs map[string]int64) *Placement {
+	var syms []attrib.Symbol
+	for name, off := range offs {
+		syms = append(syms, attrib.Symbol{Name: name, Off: off, Len: 64})
+	}
+	return NewPlacement(syms)
+}
+
+// TestScoreLocalityOrdering checks that a layout packing the co-accessed
+// symbols onto one page beats a layout scattering them, on every
+// scorecard dimension.
+func TestScoreLocalityOrdering(t *testing.T) {
+	g := scoreGraph(t)
+	packed := placeAt(map[string]int64{
+		"<header>": 0, "hub:O1": 128, // same page
+	})
+	scattered := placeAt(map[string]int64{
+		"<header>": 0, "hub:O1": 10 * osim.PageSize, // 10 pages apart
+	})
+	ps := Score(g, packed, "packed", 50)
+	ss := Score(g, scattered, "scattered", 50)
+	if ps.MappedNodes != 2 || ss.MappedNodes != 2 {
+		t.Fatalf("mapped nodes: packed %d scattered %d", ps.MappedNodes, ss.MappedNodes)
+	}
+	if ps.LocalityScore <= ss.LocalityScore {
+		t.Fatalf("packed locality %v <= scattered %v", ps.LocalityScore, ss.LocalityScore)
+	}
+	if ps.LocalityScore != 1 {
+		t.Fatalf("packed locality = %v, want 1 (all weight same-page)", ps.LocalityScore)
+	}
+	if ps.AvgWindowPages >= ss.AvgWindowPages {
+		t.Fatalf("packed window pages %v >= scattered %v", ps.AvgWindowPages, ss.AvgWindowPages)
+	}
+	// Under 50% inter-window pressure the scattered layout's two pages
+	// churn (one gets reclaimed each gap and touched again); the packed
+	// layout's single page survives as the hottest page.
+	if ps.PredictedRefaults >= ss.PredictedRefaults {
+		t.Fatalf("packed predicted refaults %d >= scattered %d", ps.PredictedRefaults, ss.PredictedRefaults)
+	}
+	RefaultFactors(ss, []*Scorecard{ps, ss})
+	if ps.PredictedRefaultFactor <= 1 || ss.PredictedRefaultFactor != 1 {
+		t.Fatalf("refault factors: packed %v scattered %v", ps.PredictedRefaultFactor, ss.PredictedRefaultFactor)
+	}
+}
+
+// TestScoreUnmappedNodes: a placement naming none of the graph's nodes
+// yields a zeroed card, not a crash.
+func TestScoreUnmappedNodes(t *testing.T) {
+	g := scoreGraph(t)
+	sc := Score(g, placeAt(map[string]int64{"unknown": 0}), "empty", 30)
+	if sc.MappedNodes != 0 || sc.LocalityScore != 0 || sc.PredictedRefaults != 0 || sc.PredictedColdPages != 0 {
+		t.Fatalf("empty placement card: %+v", sc)
+	}
+	if sc.TotalNodes == 0 {
+		t.Fatal("total nodes should still count the graph's nodes")
+	}
+}

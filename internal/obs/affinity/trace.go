@@ -1,0 +1,92 @@
+package affinity
+
+// Chrome trace-event export: the co-residency window log as a trace
+// chrome://tracing and Perfetto load directly. The time axis is the OS
+// logical access clock (rendered as microseconds). Each window's distinct
+// symbols become stacked duration events — lane i carries the i-th
+// distinct symbol of each window, so the occupied lane depth reads as
+// the working-set width over time — plus a counter track with the
+// window's symbol count.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	tracePid   = 1
+	counterTid = 1
+	laneTid0   = 2
+)
+
+// WriteChromeTrace writes the graph's window log as Chrome trace-event
+// JSON: a "window symbols" counter track plus co-residency lanes.
+func WriteChromeTrace(w io.Writer, g *Graph) error {
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	proc := "nimage affinity"
+	if g.Workload != "" {
+		proc = fmt.Sprintf("nimage affinity %s (%s)", g.Workload, g.Layout)
+	}
+	tf.TraceEvents = append(tf.TraceEvents,
+		traceEvent{Name: "process_name", Ph: "M", Pid: tracePid, Tid: counterTid,
+			Args: map[string]any{"name": proc}},
+		traceEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: counterTid,
+			Args: map[string]any{"name": "window symbols"}},
+	)
+	maxDepth := 0
+	for wi, win := range g.WindowLog {
+		ts := float64(win.Start)
+		end := ts + float64(win.Events)
+		if wi+1 < len(g.WindowLog) && float64(g.WindowLog[wi+1].Start) > ts {
+			end = float64(g.WindowLog[wi+1].Start)
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "window symbols", Ph: "C", Cat: "coresidency",
+			Ts: ts, Pid: tracePid, Tid: counterTid,
+			Args: map[string]any{"symbols": len(win.Nodes)},
+		})
+		for depth, id := range win.Nodes {
+			if int(id) >= len(g.Nodes) {
+				continue
+			}
+			n := g.Nodes[id]
+			if depth+1 > maxDepth {
+				maxDepth = depth + 1
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: n.Name, Ph: "X", Cat: "coresidency",
+				Ts: ts, Dur: end - ts, Pid: tracePid, Tid: laneTid0 + depth,
+				Args: map[string]any{"kind": n.Kind, "section": n.Section},
+			})
+		}
+	}
+	for d := 0; d < maxDepth; d++ {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: laneTid0 + d,
+			Args: map[string]any{"name": fmt.Sprintf("co-resident %02d", d)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&tf); err != nil {
+		return fmt.Errorf("affinity: writing chrome trace: %w", err)
+	}
+	return nil
+}

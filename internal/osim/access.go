@@ -1,0 +1,67 @@
+package osim
+
+// Coarse vm access clock. The replacement policies already stamp every
+// page use with the OS's logical clock (File.noteUse); this file surfaces
+// that clock to observers at page-transition granularity: a mapping
+// reports an AccessEvent only when the touched page differs from the
+// previously touched page of that mapping. That coarseness keeps the
+// instrumented fast path to one integer compare per Touch while still
+// exposing the temporal structure the affinity recorder needs — which
+// pages were active in the same window, and in what order.
+
+// AccessEvent describes one coarse page access of a mapping: the first
+// touch of a page after the mapping touched some other page. Faults are
+// access events too (Faulted reports which), so the access stream is a
+// superset of the fault stream at page granularity.
+type AccessEvent struct {
+	// Off is the touched byte offset; Page the touched page index.
+	Off  int64
+	Page int
+	// Section indexes File.Sections for the section containing Off, or
+	// len(Sections) when the offset lies outside every section (same
+	// convention as FaultEvent.Section).
+	Section int
+	// Clock is the OS logical access clock at this access. It advances on
+	// every page use of any file of the OS, so it is a global temporal
+	// coordinate across mappings.
+	Clock int64
+	// Faulted reports whether this access took a page fault (the matching
+	// FaultEvent was delivered to the mapping's FaultObserver just before
+	// this event).
+	Faulted bool
+}
+
+// AccessObserver receives the coarse page-access stream of a mapping.
+// Observers must not touch the mapping they observe.
+type AccessObserver interface {
+	OnAccess(AccessEvent)
+}
+
+// Clock returns the OS's logical access clock: a counter advanced on
+// every page use of any file. It is the temporal coordinate carried by
+// AccessEvent.Clock.
+func (o *OS) Clock() int64 { return o.clock }
+
+// noteAccess delivers the coarse access event for a touch of page p when
+// the mapping has an AccessObserver and the touch crossed a page
+// boundary (p differs from the mapping's previously touched page). The
+// section is classified only on delivery, keeping the common same-page
+// path to one compare.
+func (m *Mapping) noteAccess(off int64, p int, faulted bool) {
+	if m.AccessObserver == nil || p == m.lastAccessPage {
+		m.lastAccessPage = p
+		return
+	}
+	m.lastAccessPage = p
+	secIdx := len(m.file.Sections)
+	for i := range m.file.Sections {
+		if m.file.Sections[i].Contains(off) {
+			secIdx = i
+			break
+		}
+	}
+	m.AccessObserver.OnAccess(AccessEvent{
+		Off: off, Page: p, Section: secIdx,
+		Clock: m.file.os.clock, Faulted: faulted,
+	})
+}

@@ -1,0 +1,57 @@
+package osim
+
+import "testing"
+
+type accessLog struct{ events []AccessEvent }
+
+func (l *accessLog) OnAccess(e AccessEvent) { l.events = append(l.events, e) }
+
+// TestAccessStreamCoarse checks the page-transition coarsening: repeated
+// touches of the same page emit one event, every page change emits one,
+// faults are flagged, and the clock is strictly increasing.
+func TestAccessStreamCoarse(t *testing.T) {
+	o := NewOS(SSD())
+	o.FaultAround = 1
+	f, err := o.NewFile("bin", 8*PageSize, []Section{{Name: ".text", Off: 0, Len: 4 * PageSize}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Map()
+	log := &accessLog{}
+	m.AccessObserver = log
+
+	m.Touch(0)            // page 0, fault
+	m.Touch(100)          // page 0 again: no event
+	m.Touch(PageSize)     // page 1, fault
+	m.Touch(PageSize + 8) // page 1 again: no event
+	m.Touch(0)            // back to page 0, mapped: non-fault event
+	m.Touch(5 * PageSize) // page 5, outside .text, fault
+
+	want := []struct {
+		page    int
+		section int
+		faulted bool
+	}{
+		{0, 0, true},
+		{1, 0, true},
+		{0, 0, false},
+		{5, 1, true},
+	}
+	if len(log.events) != len(want) {
+		t.Fatalf("got %d access events, want %d: %+v", len(log.events), len(want), log.events)
+	}
+	var last int64
+	for i, e := range log.events {
+		w := want[i]
+		if e.Page != w.page || e.Section != w.section || e.Faulted != w.faulted {
+			t.Errorf("event %d = %+v, want page %d section %d faulted %v", i, e, w.page, w.section, w.faulted)
+		}
+		if e.Clock <= last {
+			t.Errorf("event %d clock %d not increasing (prev %d)", i, e.Clock, last)
+		}
+		last = e.Clock
+	}
+	if got := o.Clock(); got < last {
+		t.Errorf("OS.Clock() = %d, below last event clock %d", got, last)
+	}
+}

@@ -67,6 +67,12 @@ type OS struct {
 	// registry is present. The osim layer itself only carries the flag.
 	AttributeFaults bool
 
+	// TrackAffinity asks higher layers to attach an affinity recorder
+	// (internal/obs/affinity) to every mapping even when no obs registry
+	// is present. Like AttributeFaults, the osim layer only carries the
+	// flag; the image runtime wires the recorder.
+	TrackAffinity bool
+
 	// CacheBudget caps the resident pages across all files of the OS;
 	// 0 means unlimited (the cold-start model, where only DropCaches
 	// empties the cache). When a fault's read overflows the budget, the
@@ -258,6 +264,16 @@ type Mapping struct {
 	// the mapped file (whether or not this mapping had it mapped).
 	EvictObserver EvictionObserver
 
+	// AccessObserver, when non-nil, receives the coarse page-access
+	// stream of the mapping (see AccessEvent): one event per page
+	// transition, faults included. Set it before the first Touch.
+	AccessObserver AccessObserver
+
+	// lastAccessPage is the page of the mapping's previous Touch, for the
+	// page-transition coarsening of the access stream (-1 before the
+	// first touch).
+	lastAccessPage int
+
 	// Readahead escalation state (AdaptiveReadahead): lastEnd is the page
 	// index just past the previous read window; window the current size.
 	lastEnd int
@@ -285,6 +301,7 @@ func (f *File) Map() *Mapping {
 	}
 	m.other.Section = "<other>"
 	m.lastEnd = -1
+	m.lastAccessPage = -1
 	if r := f.os.Obs; r.Enabled() {
 		// The trailing "section" column carries the section *index* (stable
 		// across builds of the same program, unlike event order), so merged
@@ -328,6 +345,7 @@ func (m *Mapping) Touch(off int64) {
 		// Plain memory access: no fault, but the page's recency still
 		// advances for the replacement policies.
 		m.file.noteUse(p)
+		m.noteAccess(off, p, false)
 		return
 	}
 	// Page fault. Attribute it to the section containing the offset, the
@@ -443,6 +461,7 @@ func (m *Mapping) Touch(off int64) {
 			MappedStart: start, MappedEnd: end,
 		})
 	}
+	m.noteAccess(off, p, true)
 }
 
 // TouchRange accesses [off, off+n), faulting each covered page.

@@ -1,0 +1,157 @@
+package textviz
+
+// Terminal renderings of temporal co-access affinity graphs
+// (internal/obs/affinity): the ranked top-edge table behind
+// `nimage affinity`, and the per-strategy layout scorecard behind
+// `nimage affinity` / `nimage-eval -figure serve`.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nimage/internal/obs/affinity"
+)
+
+// AffinityTable renders the strongest edges of an affinity graph as a
+// ranked text table. limit <= 0 renders every edge.
+func AffinityTable(g *affinity.Graph, limit int) string {
+	var b strings.Builder
+	title := g.Workload
+	if title == "" {
+		title = "affinity"
+	}
+	if g.Layout != "" {
+		title += " (" + g.Layout + " layout)"
+	}
+	fmt.Fprintf(&b, "%s: %d access events, %d windows, %d transitions, %d co-occurrences\n",
+		title, g.AccessEvents, g.Windows, g.Transitions, g.Cooccurrences)
+	fmt.Fprintf(&b, "%d nodes, %d edges (%.1f total weight", len(g.Nodes), len(g.Edges), g.TotalWeight())
+	if g.PrunedEdges > 0 {
+		fmt.Fprintf(&b, "; %d edges pruned under the budget", g.PrunedEdges)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "%4s %8s %6s %6s %-7s %s\n",
+		"#", "weight", "co", "trans", "kind", "edge")
+	n := len(g.Edges)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		e := g.Edges[i]
+		a, z := g.Nodes[e.A], g.Nodes[e.B]
+		fmt.Fprintf(&b, "%4d %8.2f %6d %6d %-7s %s -- %s\n",
+			i+1, e.Weight, e.Co, e.Trans, edgeKindLabel(a.Kind, z.Kind), a.Name, z.Name)
+	}
+	if n < len(g.Edges) {
+		fmt.Fprintf(&b, "     ... %d more edges\n", len(g.Edges)-n)
+	}
+	return b.String()
+}
+
+// edgeKindLabel compresses an edge's endpoint kinds ("cu-cu",
+// "cu-object", ...); equal kinds collapse to the single kind.
+func edgeKindLabel(a, b string) string {
+	if a == b {
+		return a
+	}
+	return a + "-" + b
+}
+
+// ScorecardTable renders per-strategy layout scorecards ranked best
+// first (highest predicted refault factor, i.e. fewest predicted
+// refaults relative to the baseline).
+func ScorecardTable(cards []*affinity.Scorecard) string {
+	ranked := make([]*affinity.Scorecard, 0, len(cards))
+	for _, c := range cards {
+		if c != nil {
+			ranked = append(ranked, c)
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].PredictedRefaultFactor > ranked[j].PredictedRefaultFactor
+	})
+	var b strings.Builder
+	if len(ranked) > 0 {
+		title := ranked[0].Workload
+		if title == "" {
+			title = "layout scorecards"
+		}
+		fmt.Fprintf(&b, "%s: layout scorecards (pressure %d%%, %d/%d nodes mapped by best)\n",
+			title, ranked[0].PressurePct, ranked[0].MappedNodes, ranked[0].TotalNodes)
+	}
+	fmt.Fprintf(&b, "%4s %-12s %8s %10s %10s %10s %10s %8s\n",
+		"#", "strategy", "locality", "avg-win-pg", "peak-win-pg", "pred-refl", "cold-pg", "factor")
+	for i, c := range ranked {
+		factor := "-"
+		if c.PredictedRefaultFactor > 0 {
+			factor = fmt.Sprintf("%.2fx", c.PredictedRefaultFactor)
+		}
+		fmt.Fprintf(&b, "%4d %-12s %8.3f %10.1f %10d %10d %10d %8s\n",
+			i+1, c.Strategy, c.LocalityScore, c.AvgWindowPages, c.PeakWindowPages,
+			c.PredictedRefaults, c.PredictedColdPages, factor)
+	}
+	return b.String()
+}
+
+// AffinityDiff renders two graphs' ranked edges side by side by edge
+// name: the edges that strengthened, weakened, appeared or vanished
+// between two layouts' recordings. limit <= 0 renders every changed
+// edge.
+func AffinityDiff(base, opt *affinity.Graph, limit int) string {
+	type change struct {
+		name       string
+		baseW, opW float64
+	}
+	baseEdges := edgeWeights(base)
+	optEdges := edgeWeights(opt)
+	var changes []change
+	for name, w := range baseEdges {
+		changes = append(changes, change{name, w, optEdges[name]})
+	}
+	for name, w := range optEdges {
+		if _, ok := baseEdges[name]; !ok {
+			changes = append(changes, change{name, 0, w})
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		di := changes[i].opW - changes[i].baseW
+		dj := changes[j].opW - changes[j].baseW
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return changes[i].name < changes[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s -> %s: %d -> %d edges, %.1f -> %.1f total weight\n",
+		orLabel(base.Layout, "baseline"), orLabel(opt.Layout, "optimized"),
+		len(base.Edges), len(opt.Edges), base.TotalWeight(), opt.TotalWeight())
+	fmt.Fprintf(&b, "%10s %10s %8s %s\n", "baseline", "optimized", "delta", "edge")
+	n := len(changes)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		c := changes[i]
+		fmt.Fprintf(&b, "%10.2f %10.2f %+8.2f %s\n", c.baseW, c.opW, c.opW-c.baseW, c.name)
+	}
+	if n < len(changes) {
+		fmt.Fprintf(&b, "... %d more edges\n", len(changes)-n)
+	}
+	return b.String()
+}
+
+// edgeWeights keys a graph's edge weights by "a -- b" node names.
+func edgeWeights(g *affinity.Graph) map[string]float64 {
+	out := make(map[string]float64, len(g.Edges))
+	for _, e := range g.Edges {
+		out[g.Nodes[e.A].Name+" -- "+g.Nodes[e.B].Name] = e.Weight
+	}
+	return out
+}

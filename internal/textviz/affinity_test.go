@@ -1,0 +1,82 @@
+package textviz
+
+import (
+	"strings"
+	"testing"
+
+	"nimage/internal/obs/affinity"
+)
+
+func affinityGraph(layout string, weight float64) *affinity.Graph {
+	return &affinity.Graph{
+		Schema:   affinity.GraphSchema,
+		Workload: "w",
+		Layout:   layout,
+		Nodes: []affinity.Node{
+			{Name: "A.run()", Kind: "cu", Section: ".text"},
+			{Name: "hub:O1", Kind: "object", Section: ".svm_heap"},
+			{Name: "B.run()", Kind: "cu", Section: ".text"},
+		},
+		Edges: []affinity.Edge{
+			{A: 0, B: 1, Weight: weight, Co: 3, Trans: 5},
+			{A: 0, B: 2, Weight: 1, Co: 1, Trans: 1},
+		},
+		AccessEvents: 12, Windows: 3, Transitions: 6, Cooccurrences: 4,
+	}
+}
+
+func TestAffinityTable(t *testing.T) {
+	s := AffinityTable(affinityGraph("identity", 4.5), 0)
+	for _, want := range []string{
+		"w (identity layout)", "12 access events", "3 windows",
+		"A.run() -- hub:O1", "cu-object", "A.run() -- B.run()",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	// The limit truncates and says how much was dropped.
+	s = AffinityTable(affinityGraph("", 4.5), 1)
+	if strings.Contains(s, "B.run()") || !strings.Contains(s, "1 more edges") {
+		t.Errorf("limit=1 rendering:\n%s", s)
+	}
+}
+
+func TestScorecardTableRanksByFactor(t *testing.T) {
+	cards := []*affinity.Scorecard{
+		{Workload: "w", Strategy: "identity", PressurePct: 50, MappedNodes: 2,
+			TotalNodes: 3, LocalityScore: 0.4, PredictedRefaults: 20, PredictedRefaultFactor: 1},
+		{Workload: "w", Strategy: "cu", PressurePct: 50, MappedNodes: 2,
+			TotalNodes: 3, LocalityScore: 0.9, PredictedRefaults: 10, PredictedRefaultFactor: 1.91},
+		nil,
+	}
+	s := ScorecardTable(cards)
+	cu := strings.Index(s, "cu")
+	id := strings.Index(s, "identity")
+	if cu < 0 || id < 0 || cu > id {
+		t.Fatalf("cu (factor 1.91x) should rank above identity:\n%s", s)
+	}
+	for _, want := range []string{"pressure 50%", "1.91x", "1.00x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scorecard table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAffinityDiff(t *testing.T) {
+	base := affinityGraph("identity", 4.5)
+	opt := affinityGraph("cu", 2.0)
+	opt.Edges = opt.Edges[:1] // the cu recording lost the A--B edge
+	s := AffinityDiff(base, opt, 0)
+	for _, want := range []string{
+		"identity -> cu", "-2.50", "A.run() -- hub:O1", "-1.00",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diff missing %q:\n%s", want, s)
+		}
+	}
+	// The strongest change ranks first.
+	if strings.Index(s, "A.run() -- hub:O1") > strings.Index(s, "A.run() -- B.run()") {
+		t.Errorf("diff not ranked by |delta|:\n%s", s)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"nimage/internal/image"
 	"nimage/internal/ir"
 	"nimage/internal/obs"
+	"nimage/internal/obs/affinity"
 	"nimage/internal/obs/attrib"
 	"nimage/internal/osim"
 	"nimage/internal/profiler"
@@ -265,6 +266,58 @@ func FaultTableText(t *AttribTable, limit int) string { return textviz.FaultTabl
 // FaultDiffText renders a table diff (limit <= 0: all symbols per group).
 func FaultDiffText(d *AttribDiff, limit int) string { return textviz.FaultDiff(d, limit) }
 
+// Temporal co-access affinity.
+//
+// When a process runs with an obs registry (or OS.TrackAffinity), a
+// streaming recorder folds the coarse page-access clock plus the fault and
+// eviction streams into a weighted symbol×symbol affinity graph: which
+// symbols are hot together within a co-residency window, and which follow
+// each other. Graphs score candidate layouts statically (locality,
+// working-set pages per window, predicted refaults under pressure) via
+// layout scorecards — the cheap inner loop behind `nimage affinity` and
+// the serve figures' scorecard column.
+
+// AffinityGraph is the weighted co-access graph of one or more runs
+// (schema nimage.affinity/v1).
+type AffinityGraph = affinity.Graph
+
+// AffinityConfig tunes the recorder (window size, edge budget, decay).
+type AffinityConfig = affinity.Config
+
+// AffinityScorecard is the static layout-quality prediction of one
+// strategy against a recorded graph.
+type AffinityScorecard = affinity.Scorecard
+
+// AffinityPlacement resolves graph nodes into a candidate layout by
+// symbol name.
+type AffinityPlacement = affinity.Placement
+
+// Affinity graph operations: merge several graphs, serialize, export
+// (GraphViz DOT / Chrome trace-event JSON), and score layouts.
+var (
+	MergeAffinityGraphs    = affinity.Merge
+	WriteAffinityGraph     = affinity.WriteGraph
+	ReadAffinityGraph      = affinity.ReadGraph
+	WriteAffinityDOT       = affinity.WriteDOT
+	WriteAffinityTrace     = affinity.WriteChromeTrace
+	NewAffinityPlacement   = affinity.NewPlacement
+	ScoreAffinity          = affinity.Score
+	AffinityRefaultFactors = affinity.RefaultFactors
+)
+
+// AffinityTableText renders the ranked top-edge table (limit <= 0: all).
+func AffinityTableText(g *AffinityGraph, limit int) string { return textviz.AffinityTable(g, limit) }
+
+// AffinityDiffText renders the edge-weight diff of two graphs ranked by
+// |delta| (limit <= 0: all changed edges).
+func AffinityDiffText(base, opt *AffinityGraph, limit int) string {
+	return textviz.AffinityDiff(base, opt, limit)
+}
+
+// ScorecardTableText renders per-strategy layout scorecards ranked best
+// first.
+func ScorecardTableText(cards []*AffinityScorecard) string { return textviz.ScorecardTable(cards) }
+
 // EvalReport is the consolidated observability document of an evaluation
 // (see Harness.Report and `nimage-eval`'s output/report.json).
 type EvalReport = eval.Report
@@ -418,6 +471,10 @@ type BurstMeasure = eval.BurstMeasure
 
 // ServeStrategies lists the layouts the serve figures compare.
 func ServeStrategies() []string { return eval.ServeStrategies() }
+
+// LayoutBaseline labels the unmodified (identity-layout) images in
+// attribution tables, affinity graphs, and serve outcomes.
+const LayoutBaseline = eval.LayoutBaseline
 
 // BurstRowText is one row of the rendered burst table.
 type BurstRowText = textviz.BurstRow
