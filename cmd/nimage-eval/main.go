@@ -116,6 +116,18 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Reject out-of-range sizing instead of clamping: zero builds or
+	// iterations would silently measure nothing, and a negative worker
+	// count is neither a cap nor the GOMAXPROCS default (that's 0).
+	if *builds < 1 {
+		return fmt.Errorf("-builds must be >= 1, got %d", *builds)
+	}
+	if *iters < 1 {
+		return fmt.Errorf("-iters must be >= 1, got %d", *iters)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
 	keep, err := parseWorkloadFilter(*wfilter)
 	if err != nil {
 		return err
@@ -379,7 +391,10 @@ func run(args []string) error {
 			fmt.Printf("report: no selected workloads, skipped\n\n")
 			return nil
 		}
-		rep, err := rh.Report(ws, []string{core.StrategyCU, core.StrategyHeapPath, core.StrategyCombined})
+		// The report covers the serve-relevant layouts from the registry
+		// (text-only, heap-only, combined, and the graph-based two), so a
+		// newly registered serve strategy appears here without a list edit.
+		rep, err := rh.Report(ws, core.ServeStrategyNames())
 		if err != nil {
 			return err
 		}

@@ -166,3 +166,27 @@ func TestRunRejectsUnknownWorkload(t *testing.T) {
 		t.Fatal("unknown workload accepted")
 	}
 }
+
+// TestRunRejectsBadSizing: harness sizing is rejected out of range, not
+// clamped — a zero build or iteration count would silently measure
+// nothing, and negative workers are meaningless.
+func TestRunRejectsBadSizing(t *testing.T) {
+	cases := map[string][]string{
+		"builds-zero":      {"-builds", "0"},
+		"builds-negative":  {"-builds", "-3"},
+		"iters-zero":       {"-iters", "0"},
+		"iters-negative":   {"-iters", "-1"},
+		"workers-negative": {"-workers", "-2"},
+	}
+	for name, extra := range cases {
+		args := append([]string{"-figure", "2", "-workloads", "Bounce", "-out", t.TempDir(), "-bench", ""}, extra...)
+		err := run(args)
+		if err == nil {
+			t.Errorf("%s: accepted %v", name, extra)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must be") {
+			t.Errorf("%s: unhelpful error %v", name, err)
+		}
+	}
+}

@@ -38,7 +38,7 @@ func cmdAffinity(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := validateServeFlags(*pressure, *hotPct, *bursts, *burst); err != nil {
+	if err := validateServeFlags(*pressure, *hotPct, *bursts, *burst, *budget); err != nil {
 		return err
 	}
 

@@ -92,6 +92,9 @@ func cmdExec(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *iters < 1 {
+		return fmt.Errorf("-iters must be >= 1, got %d", *iters)
+	}
 	if *path == "" {
 		return fmt.Errorf("exec: -image is required")
 	}

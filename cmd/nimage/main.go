@@ -218,6 +218,9 @@ func cmdRun(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *iters < 1 {
+		return fmt.Errorf("-iters must be >= 1, got %d", *iters)
+	}
 	w, err := nimage.WorkloadByName(*name)
 	if err != nil {
 		return err

@@ -91,11 +91,39 @@ func TestCmdServeRejectsBadFlags(t *testing.T) {
 		"bursts-zero":       {"-workload", "serve-api", "-bursts", "0"},
 		"bursts-negative":   {"-workload", "serve-api", "-bursts", "-2"},
 		"burst-zero":        {"-workload", "serve-api", "-burst", "0"},
+		"budget-negative":   {"-workload", "serve-api", "-budget", "-1"},
 	}
 	for name, args := range cases {
 		err := cmdServe(args)
 		if err == nil {
 			t.Errorf("%s: accepted %v", name, args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must be") {
+			t.Errorf("%s: unhelpful error %v", name, err)
+		}
+	}
+}
+
+// TestCmdsRejectBadFlags: every subcommand with numeric bounds rejects
+// out-of-range values up front instead of clamping them.
+func TestCmdsRejectBadFlags(t *testing.T) {
+	cases := map[string]struct {
+		cmd  func([]string) error
+		args []string
+	}{
+		"run-iters-zero":          {cmdRun, []string{"-workload", "Sieve", "-iters", "0"}},
+		"run-iters-negative":      {cmdRun, []string{"-workload", "Sieve", "-iters", "-1"}},
+		"exec-iters-zero":         {cmdExec, []string{"-iters", "0"}},
+		"report-builds-zero":      {cmdReport, []string{"-workloads", "Sieve", "-builds", "0"}},
+		"report-iters-zero":       {cmdReport, []string{"-workloads", "Sieve", "-iters", "0"}},
+		"report-workers-negative": {cmdReport, []string{"-workloads", "Sieve", "-workers", "-1"}},
+		"affinity-budget-neg":     {cmdAffinity, []string{"-workload", "serve-api", "-budget", "-4"}},
+	}
+	for name, tc := range cases {
+		err := tc.cmd(tc.args)
+		if err == nil {
+			t.Errorf("%s: accepted %v", name, tc.args)
 			continue
 		}
 		if !strings.Contains(err.Error(), "must be") {

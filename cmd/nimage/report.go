@@ -26,6 +26,23 @@ func writeSnapshot(path string, r *nimage.ObsRegistry) error {
 	return nimage.ObsJSONSink{W: f, Indent: true}.Write(r.Snapshot())
 }
 
+// validateHarnessFlags rejects out-of-range harness sizing up front
+// instead of letting the harness clamp or misbehave: zero builds or
+// iterations would silently measure nothing, and a negative worker count
+// is neither a concurrency cap nor the GOMAXPROCS default (that's 0).
+func validateHarnessFlags(builds, iters, workers int) error {
+	if builds < 1 {
+		return fmt.Errorf("-builds must be >= 1, got %d", builds)
+	}
+	if iters < 1 {
+		return fmt.Errorf("-iters must be >= 1, got %d", iters)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	return nil
+}
+
 // cmdReport runs an observed evaluation of one or more workloads and writes
 // the consolidated report document, printing a human summary.
 func cmdReport(args []string) error {
@@ -38,6 +55,9 @@ func cmdReport(args []string) error {
 	out := fs.String("o", "report.json", "output JSON path")
 	artifacts := fs.String("artifacts", "", "also write per-entry attribution artifacts (attrib JSON, pprof, Chrome trace) into this directory")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateHarnessFlags(*builds, *iters, *workers); err != nil {
 		return err
 	}
 

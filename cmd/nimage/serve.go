@@ -10,9 +10,10 @@ import (
 
 // validateServeFlags rejects out-of-range serve knobs up front: the
 // harness would silently substitute defaults for non-positive burst
-// counts, and percentages outside [0,100] have no meaning as reclaim or
-// traffic fractions.
-func validateServeFlags(pressure, hotPct, bursts, burst int) error {
+// counts, percentages outside [0,100] have no meaning as reclaim or
+// traffic fractions, and a negative page budget is neither unlimited
+// (that's 0) nor a cap.
+func validateServeFlags(pressure, hotPct, bursts, burst, budget int) error {
 	if pressure < 0 || pressure > 100 {
 		return fmt.Errorf("-pressure must be between 0 and 100 (percent of resident pages), got %d", pressure)
 	}
@@ -24,6 +25,9 @@ func validateServeFlags(pressure, hotPct, bursts, burst int) error {
 	}
 	if burst <= 0 {
 		return fmt.Errorf("-burst must be positive (requests per burst), got %d", burst)
+	}
+	if budget < 0 {
+		return fmt.Errorf("-budget must be >= 0 (resident pages, 0 = unlimited), got %d", budget)
 	}
 	return nil
 }
@@ -52,7 +56,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := validateServeFlags(*pressure, *hotPct, *bursts, *burst); err != nil {
+	if err := validateServeFlags(*pressure, *hotPct, *bursts, *burst, *budget); err != nil {
 		return err
 	}
 

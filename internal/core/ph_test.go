@@ -126,6 +126,78 @@ func TestPettisHansenChainMerging(t *testing.T) {
 	}
 }
 
+// TestPettisHansenMidChainEndpointNoFlip pins the merge behavior when an
+// edge endpoint sits in the middle of its chain: no flip can bring it to
+// the join boundary, so the chains concatenate with the endpoints
+// non-adjacent (b stays interior; d lands next to c).
+func TestPettisHansenMidChainEndpointNoFlip(t *testing.T) {
+	ms := phWorld(t)
+	g := NewCallGraph()
+	for i := 0; i < 50; i++ {
+		g.AddCall(ms["a"], ms["b"])
+	}
+	for i := 0; i < 40; i++ {
+		g.AddCall(ms["b"], ms["c"])
+	}
+	for i := 0; i < 30; i++ {
+		g.AddCall(ms["b"], ms["d"])
+	}
+	got := ""
+	for _, cu := range PettisHansenOrder(cusOf(t, ms, "a", "b", "c", "d"), g) {
+		got += cu.Root.Name
+	}
+	// After a-b and b-c coalesce into [a b c], the b-d edge finds b
+	// mid-chain: [a b c] keeps its orientation and [d] joins at the tail.
+	if got != "abcd" {
+		t.Errorf("order = %q, want abcd (mid-chain endpoint must not flip)", got)
+	}
+}
+
+// TestPettisHansenEndpointFlips pins both flip branches: a head-of-chain
+// left endpoint reverses its chain to reach the join, and a tail-of-chain
+// right endpoint reverses its chain to lead with the endpoint.
+func TestPettisHansenEndpointFlips(t *testing.T) {
+	ms := phWorld(t)
+	g := NewCallGraph()
+	for i := 0; i < 50; i++ {
+		g.AddCall(ms["a"], ms["b"]) // chain [a b]
+	}
+	for i := 0; i < 40; i++ {
+		g.AddCall(ms["c"], ms["d"]) // chain [c d]
+	}
+	for i := 0; i < 30; i++ {
+		g.AddCall(ms["a"], ms["d"]) // joins the two, a and d both need flips
+	}
+	got := ""
+	for _, cu := range PettisHansenOrder(cusOf(t, ms, "a", "b", "c", "d"), g) {
+		got += cu.Root.Name
+	}
+	// [a b] flips to [b a] (a was at the head, must reach the tail) and
+	// [c d] flips to [d c] (d was at the tail, must reach the head), so the
+	// a-d endpoints are adjacent: b a | d c.
+	if got != "badc" {
+		t.Errorf("order = %q, want badc (both chains must flip)", got)
+	}
+}
+
+// TestPettisHansenTieBreakExactOrder pins the deterministic tie-breaks:
+// equal-weight edges process in signature order and equal-heat chains emit
+// in first-method signature order.
+func TestPettisHansenTieBreakExactOrder(t *testing.T) {
+	ms := phWorld(t)
+	g := NewCallGraph()
+	g.AddCall(ms["e"], ms["f"])
+	g.AddCall(ms["c"], ms["d"])
+	g.AddCall(ms["a"], ms["b"])
+	got := ""
+	for _, cu := range PettisHansenOrder(cusOf(t, ms, "a", "b", "c", "d", "e", "f"), g) {
+		got += cu.Root.Name
+	}
+	if got != "abcdef" {
+		t.Errorf("order = %q, want abcdef (signature tie-breaks)", got)
+	}
+}
+
 func TestPettisHansenDeterministic(t *testing.T) {
 	ms := phWorld(t)
 	mk := func() string {

@@ -50,9 +50,13 @@ func (h *Harness) AffinityScorecards(w workloads.Workload, scfg ServeConfig, str
 		if err != nil {
 			return nil, nil, err
 		}
-		cards = append(cards, affinity.Score(g,
+		card, err := affinity.Score(g,
 			affinity.NewPlacement(img.AttributionIndex().Symbols()),
-			s, scfg.PressurePct))
+			s, scfg.PressurePct, scfg.CacheBudget)
+		if err != nil {
+			return nil, nil, err
+		}
+		cards = append(cards, card)
 	}
 	affinity.RefaultFactors(cards[0], cards)
 	return g, cards, nil

@@ -65,16 +65,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Strategies lists the evaluated strategies in figure order.
+// Strategies lists the evaluated strategies in figure order, from the
+// strategy registry: the paper's six plus the graph-based serve layouts.
 func Strategies() []string {
-	return []string{
-		core.StrategyCU,
-		core.StrategyMethod,
-		core.StrategyIncremental,
-		core.StrategyStructural,
-		core.StrategyHeapPath,
-		core.StrategyCombined,
-	}
+	return core.EvalStrategyNames()
 }
 
 // LayoutBaseline is the attribution layout label of unmodified images.
@@ -121,12 +115,13 @@ type RunReport = obs.Snapshot
 type Harness struct {
 	Cfg Config
 
-	mu         sync.Mutex
-	progs      map[string]*ir.Program
-	baseCache  map[string]*BaselineOutcome
-	stratCache map[string]*StrategyOutcome
-	serveCache map[string][]*ServeOutcome
-	serveImgs  map[string]*image.Image
+	mu          sync.Mutex
+	progs       map[string]*ir.Program
+	baseCache   map[string]*BaselineOutcome
+	stratCache  map[string]*StrategyOutcome
+	serveCache  map[string][]*ServeOutcome
+	serveImgs   map[string]*image.Image
+	serveGraphs map[string]*affinity.Graph
 
 	sched sched
 }
@@ -134,12 +129,13 @@ type Harness struct {
 // NewHarness creates a harness.
 func NewHarness(cfg Config) *Harness {
 	return &Harness{
-		Cfg:        cfg,
-		progs:      make(map[string]*ir.Program),
-		baseCache:  make(map[string]*BaselineOutcome),
-		stratCache: make(map[string]*StrategyOutcome),
-		serveCache: make(map[string][]*ServeOutcome),
-		serveImgs:  make(map[string]*image.Image),
+		Cfg:         cfg,
+		progs:       make(map[string]*ir.Program),
+		baseCache:   make(map[string]*BaselineOutcome),
+		stratCache:  make(map[string]*StrategyOutcome),
+		serveCache:  make(map[string][]*ServeOutcome),
+		serveImgs:   make(map[string]*image.Image),
+		serveGraphs: make(map[string]*affinity.Graph),
 	}
 }
 
@@ -224,10 +220,15 @@ func (h *Harness) measureImage(img *image.Image, w workloads.Workload, layout st
 		if g := proc.AffinityGraph(); g != nil {
 			g.Layout = layout
 			m.Affinity = g
-			// Cold starts apply no inter-window pressure; the card's value
-			// here is the locality and working-set view of the run.
-			m.Scorecard = affinity.Score(g,
-				affinity.NewPlacement(img.AttributionIndex().Symbols()), layout, 0)
+			// Cold starts apply no inter-window pressure or budget; the
+			// card's value here is the locality and working-set view.
+			sc, err := affinity.Score(g,
+				affinity.NewPlacement(img.AttributionIndex().Symbols()), layout, 0, 0)
+			if err != nil {
+				proc.Close()
+				return nil, err
+			}
+			m.Scorecard = sc
 		}
 		proc.Close()
 		if o.Obs != nil {
@@ -489,15 +490,16 @@ func (h *Harness) measureStrategy(w workloads.Workload, strategy string) (*Strat
 	return out, nil
 }
 
-// metricOf selects the figure metric of a strategy: text faults for code
-// strategies, heap faults for heap strategies, their sum for the combined
-// strategy, per Sec. 7.1.
+// metricOf selects the figure metric of a strategy from the registry's
+// section claims: text faults for code strategies, heap faults for heap
+// strategies, their sum when a strategy reorders both, per Sec. 7.1.
 func metricOf(strategy string, m RunMeasure) float64 {
-	switch strategy {
-	case core.StrategyCU, core.StrategyMethod:
-		return m.TextFaults
-	case core.StrategyCombined:
+	info, ok := core.StrategyByName(strategy)
+	switch {
+	case ok && info.Text && info.Heap:
 		return m.TextFaults + m.HeapFaults
+	case ok && info.Text:
+		return m.TextFaults
 	default:
 		return m.HeapFaults
 	}

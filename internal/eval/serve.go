@@ -231,7 +231,7 @@ func (h *Harness) measureServe(w workloads.Workload, strategy string, scfg Serve
 		if err != nil {
 			return err
 		}
-		o, err := h.serveRun(img, w, strategy, scfg)
+		o, err := h.serveRun(img, w, strategy, scfg, false)
 		if err != nil {
 			return err
 		}
@@ -266,7 +266,7 @@ func (h *Harness) serveImage(w workloads.Workload, strategy string, bld int) (*i
 			}
 			img = built
 		} else {
-			res, err := image.BuildOptimized(p, image.PipelineOptions{
+			popts := image.PipelineOptions{
 				Compiler:         h.Cfg.Compiler,
 				Strategy:         strategy,
 				InstrumentedSeed: instrumentedSeed(bld),
@@ -275,7 +275,18 @@ func (h *Harness) serveImage(w workloads.Workload, strategy string, bld int) (*i
 				Mode:    profiler.MemoryMapped,
 				Args:    w.Args,
 				Service: true,
-			})
+			}
+			if core.IsGraphStrategy(strategy) {
+				// Graph strategies optimize burst residency, so they bake
+				// from the baseline *serve* recording rather than letting
+				// the pipeline record a cold start.
+				g, err := h.serveAffinityGraph(w, bld)
+				if err != nil {
+					return err
+				}
+				popts.AffinityGraph = g
+			}
+			res, err := image.BuildOptimized(p, popts)
 			if err != nil {
 				return fmt.Errorf("eval: serve %s/%s: %w", w.Name, strategy, err)
 			}
@@ -298,12 +309,59 @@ func (h *Harness) cachedServeImg(key string) *image.Image {
 	return h.serveImgs[key]
 }
 
+// serveAffinityGraph records — once per workload/build, shared by every
+// pressure level and both graph strategies — the affinity graph the graph
+// strategies bake from: the baseline image of the same build runs the
+// *default* serve scenario with affinity tracking forced on. Recording at
+// the default config keeps the graph independent of the measurement's
+// pressure sweep, preserving the serve-image memoization contract
+// (sweeping pressure rebuilds nothing).
+func (h *Harness) serveAffinityGraph(w workloads.Workload, bld int) (*affinity.Graph, error) {
+	key := fmt.Sprintf("sgraph\x00%s\x00%d", w.Name, bld)
+	if g := h.cachedServeGraph(key); g != nil {
+		return g, nil
+	}
+	err := h.once(key, func() error {
+		if h.cachedServeGraph(key) != nil {
+			return nil
+		}
+		img, err := h.serveImage(w, LayoutBaseline, bld)
+		if err != nil {
+			return err
+		}
+		o, err := h.serveRun(img, w, LayoutBaseline, DefaultServeConfig(), true)
+		if err != nil {
+			return fmt.Errorf("eval: serve affinity recording of %s: %w", w.Name, err)
+		}
+		if o.Affinity == nil {
+			return fmt.Errorf("eval: serve affinity recording of %s produced no graph", w.Name)
+		}
+		h.mu.Lock()
+		h.serveGraphs[key] = o.Affinity
+		h.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h.cachedServeGraph(key), nil
+}
+
+func (h *Harness) cachedServeGraph(key string) *affinity.Graph {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.serveGraphs[key]
+}
+
 // serveRun executes one serve scenario: cold startup to the first
 // response, then the request bursts with inter-burst pressure. One request
 // is one RunMethod call on the dispatch entry (StopOnRespond stops the
 // machine at the request's respond intrinsic); its latency is the
 // simulated CPU delta plus the fault I/O it incurred.
-func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy string, scfg ServeConfig) (*ServeOutcome, error) {
+// trackAffinity forces the co-access recorder on regardless of the
+// harness config — the serve affinity recording needs a graph even on
+// detached harnesses.
+func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy string, scfg ServeConfig, trackAffinity bool) (*ServeOutcome, error) {
 	cls := img.Program.Class(w.Serve.DispatchClass)
 	if cls == nil {
 		return nil, fmt.Errorf("eval: serve %s: dispatch class %s missing", w.Name, w.Serve.DispatchClass)
@@ -317,6 +375,9 @@ func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy stri
 	o := h.newOS()
 	o.CacheBudget = scfg.CacheBudget
 	o.Policy = scfg.Policy
+	if trackAffinity {
+		o.TrackAffinity = true
+	}
 	if h.Cfg.Observe {
 		o.Obs = obs.NewRegistry()
 	}
@@ -428,9 +489,14 @@ func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy stri
 	if g := proc.AffinityGraph(); g != nil {
 		g.Layout = strategy
 		out.Affinity = g
-		out.Scorecard = affinity.Score(g,
+		sc, err := affinity.Score(g,
 			affinity.NewPlacement(img.AttributionIndex().Symbols()),
-			strategy, scfg.PressurePct)
+			strategy, scfg.PressurePct, scfg.CacheBudget)
+		if err != nil {
+			proc.Close()
+			return nil, err
+		}
+		out.Scorecard = sc
 	}
 	proc.Close()
 	if o.Obs != nil {
@@ -439,11 +505,11 @@ func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy stri
 	return out, nil
 }
 
-// ServeStrategies are the layouts the serve figures compare: the text-side
-// orderer, the heap-side orderer, and their combination — the three
-// distinct churn surfaces of a serve-mode binary.
+// ServeStrategies are the layouts the serve figures compare, from the
+// strategy registry: the text-side orderer, the heap-side orderer, their
+// combination, and the two graph-based serve layouts.
 func ServeStrategies() []string {
-	return []string{core.StrategyCU, core.StrategyHeapPath, core.StrategyCombined}
+	return core.ServeStrategyNames()
 }
 
 // ServeLatencyTable compares warm-burst mean latency (baseline / strategy,

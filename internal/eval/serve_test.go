@@ -353,4 +353,18 @@ func TestQuantileExact(t *testing.T) {
 	if got := quantileExact([]float64{7}, 0.99); got != 7 {
 		t.Errorf("singleton = %v", got)
 	}
+	// Boundary quantiles: q=0 is the minimum, q=1 the maximum, and a
+	// single sample answers every quantile with itself.
+	if got := quantileExact(s, 0); got != 1 {
+		t.Errorf("q=0 = %v, want minimum 1", got)
+	}
+	if got := quantileExact(s, 1); got != 10 {
+		t.Errorf("q=1 = %v, want maximum 10", got)
+	}
+	if got := quantileExact([]float64{7}, 0); got != 7 {
+		t.Errorf("singleton q=0 = %v", got)
+	}
+	if got := quantileExact([]float64{7}, 1); got != 7 {
+		t.Errorf("singleton q=1 = %v", got)
+	}
 }

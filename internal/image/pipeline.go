@@ -8,6 +8,7 @@ import (
 	"nimage/internal/graal"
 	"nimage/internal/ir"
 	"nimage/internal/obs"
+	"nimage/internal/obs/affinity"
 	"nimage/internal/osim"
 	"nimage/internal/postproc"
 	"nimage/internal/profiler"
@@ -23,8 +24,8 @@ var vmCompose = vm.ComposeHooks
 // instrumented build → profiling run → post-processing → optimized build.
 type PipelineOptions struct {
 	Compiler graal.Config
-	// Strategy is one of the core.Strategy* names: "cu", "method",
-	// "incremental id", "structural hash", "heap path", or "cu+heap path".
+	// Strategy is one of the registered core.Strategy* names (see
+	// core.Registry), e.g. "cu", "heap path", "cu+heap path", "c3".
 	Strategy string
 	// InstrumentedSeed / OptimizedSeed are the build seeds of the two
 	// builds; they differ in practice, which is exactly what makes object
@@ -46,6 +47,14 @@ type PipelineOptions struct {
 	// ("pipeline.<strategy>.profiling_run" / ".postprocess") and trace-size
 	// gauges.
 	Obs *obs.Registry
+	// AffinityGraph is the recorded co-access graph consumed by the graph
+	// strategies ("c3", "ext-tsp"). When nil, the pipeline records one
+	// itself: a regular build at InstrumentedSeed executed with affinity
+	// tracking — an uninstrumented profiling run, so graph strategies pay
+	// no probe inflation. Callers with a serve-phase recording (the eval
+	// harness) pass it here so the layout optimizes burst residency
+	// rather than startup.
+	AffinityGraph *affinity.Graph
 }
 
 // ProfilingRun reports the instrumented execution (for the overhead
@@ -79,22 +88,24 @@ type PipelineResult struct {
 // InstrumentationFor maps a strategy name to the instrumentation its
 // profiling build needs (the mapping the pipeline applies internally);
 // the verifier uses it to rebuild the pipeline's instrumented image.
+// Strategies without exactly one probe kind — the combined strategy (two
+// kinds) and the graph strategies (none) — are an error; enumerate their
+// kinds via core.StrategyByName instead.
 func InstrumentationFor(strategy string) (graal.Instrumentation, error) {
 	return strategyInstr(strategy)
 }
 
-// strategyInstr maps a strategy name to the instrumentation it needs.
+// strategyInstr maps a strategy name to the instrumentation it needs,
+// resolved through the strategy registry.
 func strategyInstr(strategy string) (graal.Instrumentation, error) {
-	switch strategy {
-	case core.StrategyCU, core.StrategyPettisHansen:
-		return graal.InstrCU, nil
-	case core.StrategyMethod:
-		return graal.InstrMethod, nil
-	case core.StrategyIncremental, core.StrategyStructural, core.StrategyHeapPath:
-		return graal.InstrHeap, nil
-	default:
+	info, ok := core.StrategyByName(strategy)
+	if !ok {
 		return 0, fmt.Errorf("image: unknown strategy %q", strategy)
 	}
+	if len(info.Instr) != 1 {
+		return 0, fmt.Errorf("image: strategy %q has no single probe kind", strategy)
+	}
+	return info.Instr[0], nil
 }
 
 // composePH merges the PH call-graph collector into the tracer hooks.
@@ -144,8 +155,8 @@ func BuildOptimized(p *ir.Program, opts PipelineOptions) (*PipelineResult, error
 		MaxPaths:  opts.MaxPaths,
 		Obs:       opts.Obs,
 	}
-	switch opts.Strategy {
-	case core.StrategyCombined:
+	switch {
+	case opts.Strategy == core.StrategyCombined:
 		if err := collect(core.StrategyCU); err != nil {
 			return nil, err
 		}
@@ -153,6 +164,15 @@ func BuildOptimized(p *ir.Program, opts PipelineOptions) (*PipelineResult, error
 			return nil, err
 		}
 		optOpts.HeapStrategy = heapStrategyByName(core.StrategyHeapPath)
+	case core.IsGraphStrategy(opts.Strategy):
+		run, code, err := profileGraph(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		if run != nil {
+			res.Runs = append(res.Runs, *run)
+		}
+		res.CodeProfile = code
 	default:
 		if err := collect(opts.Strategy); err != nil {
 			return nil, err
@@ -168,6 +188,76 @@ func BuildOptimized(p *ir.Program, opts PipelineOptions) (*PipelineResult, error
 	}
 	res.Optimized = opt
 	return res, nil
+}
+
+// profileGraph resolves a graph strategy's code profile: order the
+// affinity graph's text symbols with the strategy's chain-merging
+// algorithm. With no caller-provided graph it records one first — a
+// *regular* build at InstrumentedSeed run to completion (or first
+// response) with affinity tracking, the graph analogue of profileOnce
+// but without probe inflation — so graph strategies bake standalone,
+// exactly like the trace strategies. The resulting profile is plain CU
+// signatures, so the optimized build and the .nimg recipe treat graph
+// strategies identically to "cu".
+func profileGraph(p *ir.Program, opts PipelineOptions) (*ProfilingRun, []string, error) {
+	g := opts.AffinityGraph
+	var run *ProfilingRun
+	if g == nil {
+		img, err := Build(p, Options{
+			Kind:      KindRegular,
+			Compiler:  opts.Compiler,
+			BuildSeed: opts.InstrumentedSeed,
+			MaxPaths:  opts.MaxPaths,
+			Obs:       opts.Obs,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("image: recording build: %w", err)
+		}
+		sp := opts.Obs.StartSpan("pipeline." + opts.Strategy + ".profiling_run")
+		scratch := osim.NewOS(osim.SSD())
+		scratch.TrackAffinity = true
+		proc, err := img.NewProcess(scratch, vmHooks{})
+		if err != nil {
+			return nil, nil, err
+		}
+		defer proc.Close()
+		proc.Machine.StopOnRespond = opts.Service
+		if err := proc.Run(opts.Args...); err != nil {
+			return nil, nil, fmt.Errorf("image: recording run: %w", err)
+		}
+		st := proc.Stats()
+		run = &ProfilingRun{Instr: graal.InstrNone, Mode: opts.Mode}
+		if opts.Service && st.TimeToResponse > 0 {
+			run.Time = st.TimeToResponse
+		} else {
+			run.Time = st.Total
+		}
+		if opts.Service {
+			run.CPUTime = time.Duration(proc.Machine.RespondTimeNanos())
+		} else {
+			run.CPUTime = st.CPUTime
+		}
+		g = proc.AffinityGraph()
+		sp.End()
+		if g == nil {
+			return nil, nil, fmt.Errorf("image: %s: recording run produced no affinity graph", opts.Strategy)
+		}
+	}
+	sp := opts.Obs.StartSpan("pipeline." + opts.Strategy + ".postprocess")
+	defer sp.End()
+	var profile []string
+	switch opts.Strategy {
+	case core.StrategyC3:
+		profile = core.C3Order(g)
+	case core.StrategyExtTSP:
+		profile = core.ExtTSPOrder(g)
+	default:
+		return nil, nil, fmt.Errorf("image: unknown graph strategy %q", opts.Strategy)
+	}
+	if r := opts.Obs; r.Enabled() {
+		r.Gauge("pipeline." + opts.Strategy + ".profile_symbols").Set(float64(len(profile)))
+	}
+	return run, profile, nil
 }
 
 // profileOnce builds one instrumented image, executes it, and

@@ -99,6 +99,57 @@ func TestRecipeRoundTripOptimized(t *testing.T) {
 	}
 }
 
+// TestEveryRegisteredStrategyBakesAndRoundTrips is the registry's
+// anti-drift guarantee: every strategy core.Registry lists — including
+// the graph strategies, which record their own affinity input — bakes
+// standalone through the full pipeline, and its .nimg recipe re-bakes to
+// the identical layout.
+func TestEveryRegisteredStrategyBakesAndRoundTrips(t *testing.T) {
+	p := buildApp(t)
+	for _, info := range core.Registry() {
+		res, err := BuildOptimized(p, PipelineOptions{
+			Compiler:         graal.DefaultConfig(),
+			Strategy:         info.Name,
+			InstrumentedSeed: 7,
+			OptimizedSeed:    9,
+		})
+		if err != nil {
+			t.Fatalf("%s: bake: %v", info.Name, err)
+		}
+		if info.Text && len(res.CodeProfile) == 0 {
+			t.Errorf("%s: text strategy produced an empty code profile", info.Name)
+		}
+		if info.Graph && len(res.HeapProfile) != 0 {
+			t.Errorf("%s: graph strategy produced a heap profile", info.Name)
+		}
+		var buf bytes.Buffer
+		if err := WriteRecipe(&buf, RecipeOf(res.Optimized)); err != nil {
+			t.Fatalf("%s: write recipe: %v", info.Name, err)
+		}
+		r, err := ReadRecipe(&buf)
+		if err != nil {
+			t.Fatalf("%s: read recipe: %v", info.Name, err)
+		}
+		baked, err := r.Bake()
+		if err != nil {
+			t.Fatalf("%s: re-bake: %v", info.Name, err)
+		}
+		if len(baked.CULayout) != len(res.Optimized.CULayout) {
+			t.Fatalf("%s: CU counts differ", info.Name)
+		}
+		for i := range res.Optimized.CULayout {
+			if baked.CULayout[i].Signature() != res.Optimized.CULayout[i].Signature() {
+				t.Fatalf("%s: CU layout differs at %d", info.Name, i)
+			}
+		}
+		for i := range res.Optimized.ObjLayout {
+			if baked.ObjLayout[i].Offset != res.Optimized.ObjLayout[i].Offset {
+				t.Fatalf("%s: object layout differs at %d", info.Name, i)
+			}
+		}
+	}
+}
+
 func TestRecipeUnknownStrategyRejected(t *testing.T) {
 	p := buildApp(t)
 	r := Recipe{

@@ -16,10 +16,15 @@
 // a per-strategy scorecard — the static proxy for MeasureServe. Codecs
 // live in codec.go (JSON), dot.go (GraphViz), trace.go (Chrome trace).
 //
-// Every event charges exactly one node (the page's representative
-// symbol), so node sums reconcile exactly with osim's mapping and file
-// counters — the same contract the attrib recorder enforces per section,
-// asserted by tests, not assumed.
+// Every event charges exactly one node — the symbol containing the
+// event's byte offset, falling back to the page's representative symbol
+// when the offset lands in an uncovered gap — so node sums reconcile
+// exactly with osim's mapping and file counters: the same contract the
+// attrib recorder enforces per section, asserted by tests, not assumed.
+// Offset resolution matters for the graph-based layouts: a page-granular
+// graph names one representative CU per touched page, so a layout baked
+// from it covers a fraction of the executed code and degrades toward the
+// identity order for everything else.
 package affinity
 
 import (
@@ -125,13 +130,21 @@ type Edge struct {
 }
 
 // Window is one completed co-residency window of the log: the distinct
-// nodes accessed during WindowEvents consecutive coarse accesses.
+// nodes accessed during WindowEvents consecutive coarse accesses. A
+// pressure reclaim (osim.EvictPressure — the serve harness's inter-burst
+// eviction) force-rotates the window in progress, so windows never span
+// a reclaim boundary.
 type Window struct {
 	// Start is the OS access clock at the window's first event.
 	Start int64 `json:"start_clock"`
 	// Events is the window's coarse access count (the last window of a
-	// run may be shorter than Config.WindowEvents).
+	// run, or one cut short by a pressure reclaim, may be shorter than
+	// Config.WindowEvents).
 	Events int `json:"events"`
+	// Pressure reports that a pressure reclaim immediately preceded the
+	// window — the scorecard replay applies its inter-window reclaim at
+	// exactly these boundaries, mirroring the measured run's bursts.
+	Pressure bool `json:"pressure,omitempty"`
 	// Nodes indexes Graph.Nodes, in first-access order.
 	Nodes []int32 `json:"nodes"`
 }
@@ -249,12 +262,15 @@ type Recorder struct {
 	prunedEdges, prunedCo, prunedTrans               int64
 	prunedWeight                                     float64
 
-	winNodes  []int32
-	winSeen   map[int32]bool
-	winStart  int64
-	winEvents int
-	prevNode  int32
-	log       []Window
+	winNodes []int32
+	winSeen  map[int32]bool
+	winStart int64
+	// curPressure marks the window in progress as preceded by a pressure
+	// reclaim (set when EvictPressure force-rotates the previous one).
+	curPressure bool
+	winEvents   int
+	prevNode    int32
+	log         []Window
 
 	finished bool
 }
@@ -287,10 +303,15 @@ func NewRecorder(ix *attrib.Index, cfg Config) *Recorder {
 	return r
 }
 
-// nodeFor resolves a page event to the single node it charges: the
-// page's representative symbol (the first symbol overlapping it), or the
-// per-section pseudo-node for uncovered pages.
-func (r *Recorder) nodeFor(page, section int) int32 {
+// nodeFor resolves an event to the single node it charges: the symbol
+// containing the event's byte offset, else the page's representative
+// symbol (the first symbol overlapping it — e.g. when the offset lands in
+// padding between symbols), else the per-section pseudo-node for pages no
+// indexed symbol covers.
+func (r *Recorder) nodeFor(off int64, page, section int) int32 {
+	if si := r.ix.SymbolAt(off); si >= 0 {
+		return int32(si)
+	}
 	if page >= 0 && page < len(r.pageRep) {
 		if id := r.pageRep[page]; id >= 0 {
 			return id
@@ -320,7 +341,7 @@ func (r *Recorder) section(idx int) *attrib.SectionTotal {
 // OnAccess folds one coarse page access into the window and the
 // transition edges.
 func (r *Recorder) OnAccess(ev osim.AccessEvent) {
-	id := r.nodeFor(ev.Page, ev.Section)
+	id := r.nodeFor(ev.Off, ev.Page, ev.Section)
 	n := &r.nodes[id]
 	n.Accesses++
 	if n.FirstClock == 0 {
@@ -364,7 +385,7 @@ func (r *Recorder) OnFault(ev osim.FaultEvent) {
 	}
 	st.IONanos += ev.IONanos
 	r.faults++
-	id := r.nodeFor(ev.Page, ev.Section)
+	id := r.nodeFor(ev.Off, ev.Page, ev.Section)
 	n := &r.nodes[id]
 	n.Faults++
 	if ev.Major {
@@ -378,7 +399,9 @@ func (r *Recorder) OnFault(ev osim.FaultEvent) {
 }
 
 // OnEvict charges one eviction and arms (or, for DropCaches, disarms)
-// the page's re-fault tracking.
+// the page's re-fault tracking. A pressure eviction also closes the
+// window in progress and flags the next one, so the window log carries
+// the run's reclaim boundaries for the scorecard replay.
 func (r *Recorder) OnEvict(ev osim.EvictionEvent) {
 	st := r.section(ev.Section)
 	st.Evicted++
@@ -386,7 +409,11 @@ func (r *Recorder) OnEvict(ev osim.EvictionEvent) {
 	if ev.Page >= 0 && ev.Page < len(r.evictedPage) {
 		r.evictedPage[ev.Page] = ev.Cause != osim.EvictDrop
 	}
-	r.nodes[r.nodeFor(ev.Page, ev.Section)].Evictions++
+	r.nodes[r.nodeFor(ev.Off, ev.Page, ev.Section)].Evictions++
+	if ev.Cause == osim.EvictPressure {
+		r.rotate()
+		r.curPressure = true
+	}
 }
 
 func (r *Recorder) edge(a, b int32) *edgeCount {
@@ -422,10 +449,12 @@ func (r *Recorder) rotate() {
 	}
 	r.windows++
 	r.log = append(r.log, Window{
-		Start:  r.winStart,
-		Events: r.winEvents,
-		Nodes:  append([]int32(nil), r.winNodes...),
+		Start:    r.winStart,
+		Events:   r.winEvents,
+		Pressure: r.curPressure,
+		Nodes:    append([]int32(nil), r.winNodes...),
 	})
+	r.curPressure = false
 	if len(r.log) > r.cfg.MaxWindows {
 		n := copy(r.log, r.log[len(r.log)-r.cfg.MaxWindows:])
 		r.log = r.log[:n]
@@ -531,7 +560,7 @@ func (r *Recorder) Graph() *Graph {
 	}
 	rankEdges(g.Edges)
 	for _, w := range r.log {
-		nw := Window{Start: w.Start, Events: w.Events, Nodes: make([]int32, len(w.Nodes))}
+		nw := Window{Start: w.Start, Events: w.Events, Pressure: w.Pressure, Nodes: make([]int32, len(w.Nodes))}
 		for i, id := range w.Nodes {
 			nw.Nodes[i] = remap[id]
 		}
@@ -648,7 +677,7 @@ func Merge(graphs ...*Graph) *Graph {
 			out.Edges[i].Trans += e.Trans
 		}
 		for _, w := range g.WindowLog {
-			nw := Window{Start: w.Start, Events: w.Events, Nodes: make([]int32, len(w.Nodes))}
+			nw := Window{Start: w.Start, Events: w.Events, Pressure: w.Pressure, Nodes: make([]int32, len(w.Nodes))}
 			for i, id := range w.Nodes {
 				nw.Nodes[i] = local[id]
 			}

@@ -103,6 +103,29 @@ func TestRecorderWindowsAndEdges(t *testing.T) {
 	}
 }
 
+// TestRecorderChargesOffsetSymbol: accesses resolve to the symbol
+// containing the touched byte, not the page's representative — page 1 is
+// represented by A.run(0), but a touch inside B.run(0)'s bytes on that
+// page must charge B. Offsets in uncovered gaps still fall back to the
+// page representative so every event charges exactly one node.
+func TestRecorderChargesOffsetSymbol(t *testing.T) {
+	r := NewRecorder(testIndex(), Config{WindowEvents: 4})
+	// Page 1 spans [4096, 8192): A.run(0) covers [64, 6064), B.run(0)
+	// covers [6064, 8192). Touch B's bytes, then A's, on the same page.
+	r.OnAccess(osim.AccessEvent{Off: 6100, Page: 1, Section: 0, Clock: 1})
+	r.OnAccess(osim.AccessEvent{Off: 5000, Page: 1, Section: 0, Clock: 2})
+	r.OnFault(osim.FaultEvent{Off: 6100, Page: 1, Section: 0, Major: true})
+	g := r.Graph()
+	b, ok := g.Node("B.run(0)")
+	if !ok || b.Accesses != 1 || b.Faults != 1 || b.FirstClock != 1 {
+		t.Fatalf("B.run(0) node: %+v ok=%v", b, ok)
+	}
+	a, ok := g.Node("A.run(0)")
+	if !ok || a.Accesses != 1 || a.Faults != 0 || a.FirstClock != 2 {
+		t.Fatalf("A.run(0) node: %+v ok=%v", a, ok)
+	}
+}
+
 // TestRecorderEdgeBudget fills the graph past MaxEdges and checks exact
 // pruned accounting.
 func TestRecorderEdgeBudget(t *testing.T) {

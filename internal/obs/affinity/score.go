@@ -9,6 +9,7 @@ package affinity
 // must order-agree with (asserted by an eval test).
 
 import (
+	"fmt"
 	"sort"
 
 	"nimage/internal/obs/attrib"
@@ -21,8 +22,11 @@ type Scorecard struct {
 	// Strategy names the scored layout ("identity", "cu", ...).
 	Strategy string `json:"strategy"`
 	// PressurePct is the inter-window reclaim percentage the refault
-	// replay simulated (mirrors ServeConfig.PressurePct).
+	// replay simulated (mirrors ServeConfig.PressurePct); CacheBudget the
+	// resident-page cap enforced during windows (mirrors
+	// ServeConfig.CacheBudget; 0 = unbounded).
 	PressurePct int `json:"pressure_pct"`
+	CacheBudget int `json:"cache_budget,omitempty"`
 
 	// MappedNodes counts graph nodes the layout places (by name);
 	// TotalNodes all graph nodes. Unmapped nodes (pseudo-nodes, symbols
@@ -47,9 +51,10 @@ type Scorecard struct {
 	PeakWindowPages int     `json:"peak_window_pages"`
 
 	// PredictedRefaults replays the window log against the layout under
-	// an LRU reclaim of PressurePct between windows — the static proxy
-	// for MeasureServe's refault count. PredictedColdPages counts the
-	// distinct pages the replay touched (the layout's working set).
+	// an LRU reclaim of PressurePct between windows and the CacheBudget
+	// resident cap during them — the static proxy for MeasureServe's
+	// refault count. PredictedColdPages counts the distinct pages the
+	// replay touched (the layout's working set).
 	PredictedRefaults  int64 `json:"predicted_refaults"`
 	PredictedColdPages int64 `json:"predicted_cold_pages"`
 	// PredictedRefaultFactor is baseline/strategy predicted refaults
@@ -90,12 +95,23 @@ func NewPlacement(syms []attrib.Symbol) *Placement {
 
 // Score computes the scorecard of one layout against the recorded graph.
 // pressurePct is the inter-window reclaim percentage of the refault
-// replay (use the serve config's pressure to mirror MeasureServe).
-func Score(g *Graph, layout *Placement, strategy string, pressurePct int) *Scorecard {
+// replay and cacheBudget its resident-page cap (use the serve config's
+// values to mirror MeasureServe; 0 budget = unbounded). A pressure
+// outside [0, 100] or a negative budget is rejected, mirroring the CLI
+// bounds — a percentage over 100 would silently reclaim everything,
+// masking a caller bug.
+func Score(g *Graph, layout *Placement, strategy string, pressurePct, cacheBudget int) (*Scorecard, error) {
+	if pressurePct < 0 || pressurePct > 100 {
+		return nil, fmt.Errorf("affinity: pressurePct %d out of range [0, 100]", pressurePct)
+	}
+	if cacheBudget < 0 {
+		return nil, fmt.Errorf("affinity: cacheBudget %d must be >= 0", cacheBudget)
+	}
 	sc := &Scorecard{
 		Workload:    g.Workload,
 		Strategy:    strategy,
 		PressurePct: pressurePct,
+		CacheBudget: cacheBudget,
 		TotalNodes:  len(g.Nodes),
 	}
 	pages := make([]layoutSymbol, len(g.Nodes))
@@ -133,14 +149,22 @@ func Score(g *Graph, layout *Placement, strategy string, pressurePct int) *Score
 	// Window working sets and the refault replay: windows become bursts,
 	// inter-window pressure reclaims the coldest resident pages (the LRU
 	// mirror of osim.ReclaimFraction), then the window's pages are
-	// touched in node order.
+	// touched in node order with the budget's LRU eviction applied after
+	// every touch (the mirror of osim's CacheBudget) — without the
+	// budget, a layout whose burst working set overflows the cache looks
+	// as good as one that fits it, and the predicted ordering diverges
+	// from the measured one exactly where serve mode hurts most.
 	resident := make(map[int64]int64) // page -> last-use stamp
 	evicted := make(map[int64]bool)
 	touched := make(map[int64]bool)
 	var stamp int64
 	var sumPages int64
-	for wi, w := range g.WindowLog {
-		if wi > 0 && pressurePct > 0 {
+	for _, w := range g.WindowLog {
+		// Reclaim only at the recorded pressure boundaries (the measured
+		// run's inter-burst evictions), not between every window — a
+		// burst spans many windows, and reclaiming at each would swamp
+		// the budget churn that dominates the measured refault count.
+		if w.Pressure && pressurePct > 0 {
 			reclaim(resident, evicted, len(resident)*pressurePct/100)
 		}
 		winPages := make(map[int64]bool)
@@ -157,6 +181,9 @@ func Score(g *Graph, layout *Placement, strategy string, pressurePct int) *Score
 				}
 				resident[p] = stamp
 				touched[p] = true
+				if cacheBudget > 0 && len(resident) > cacheBudget {
+					reclaim(resident, evicted, len(resident)-cacheBudget)
+				}
 			}
 		}
 		sumPages += int64(len(winPages))
@@ -168,7 +195,7 @@ func Score(g *Graph, layout *Placement, strategy string, pressurePct int) *Score
 		sc.AvgWindowPages = float64(sumPages) / float64(n)
 	}
 	sc.PredictedColdPages = int64(len(touched))
-	return sc
+	return sc, nil
 }
 
 // reclaim evicts the n coldest resident pages (smallest stamp, ties by

@@ -113,6 +113,20 @@ func (ix *Index) SymbolsOnPage(page int) []int {
 	return out
 }
 
+// SymbolAt returns the index (into Symbols) of the symbol containing the
+// byte offset, or -1 when no symbol covers it. Symbols never overlap, so
+// the containing symbol is unique.
+func (ix *Index) SymbolAt(off int64) int {
+	i := sort.Search(len(ix.syms), func(i int) bool { return ix.maxEnd[i] > off })
+	for ; i < len(ix.syms) && ix.syms[i].Off <= off; i++ {
+		s := ix.syms[i]
+		if s.Len > 0 && s.Off+s.Len > off {
+			return i
+		}
+	}
+	return -1
+}
+
 // SectionName returns the name the index uses for a section index of an
 // osim.FaultEvent ("<other>" past the table, matching osim's catch-all).
 func (ix *Index) SectionName(idx int) string {

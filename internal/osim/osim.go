@@ -464,7 +464,12 @@ func (m *Mapping) Touch(off int64) {
 	m.noteAccess(off, p, true)
 }
 
-// TouchRange accesses [off, off+n), faulting each covered page.
+// TouchRange accesses [off, off+n), faulting each covered page. Each
+// page is touched at the first byte of the range on it (the range start
+// for the first page, the page start for the rest), so observers see
+// offsets inside the accessed symbol rather than page-aligned ones —
+// the affinity recorder resolves them to the symbol being executed, not
+// to whichever symbol happens to open the page.
 func (m *Mapping) TouchRange(off, n int64) {
 	if n <= 0 {
 		return
@@ -472,7 +477,11 @@ func (m *Mapping) TouchRange(off, n int64) {
 	first := off / PageSize
 	last := (off + n - 1) / PageSize
 	for p := first; p <= last; p++ {
-		m.Touch(p * PageSize)
+		at := p * PageSize
+		if at < off {
+			at = off
+		}
+		m.Touch(at)
 	}
 }
 

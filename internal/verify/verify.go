@@ -32,17 +32,13 @@ type Options struct {
 	Log io.Writer
 }
 
-// Strategies returns the strategy names the verifier exercises by default:
-// every code- and heap-ordering scheme of the evaluation.
+// Strategies returns the strategy names the verifier exercises by
+// default: every strategy the registry knows — the evaluation's code- and
+// heap-ordering schemes, the Pettis–Hansen baseline, and the graph-based
+// serve layouts — so registering a strategy enrolls it in verification
+// automatically.
 func Strategies() []string {
-	return []string{
-		core.StrategyCU,
-		core.StrategyMethod,
-		core.StrategyIncremental,
-		core.StrategyStructural,
-		core.StrategyHeapPath,
-		core.StrategyCombined,
-	}
+	return core.StrategyNames()
 }
 
 // DefaultWorkloads returns the workload set verified when none is given:
@@ -116,16 +112,15 @@ func (r *Report) Summary() string {
 }
 
 // instrKinds returns the instrumentation kinds a strategy's pipeline runs
-// with (two for the combined strategy).
+// with, from the registry: two for the combined strategy, none for the
+// graph strategies (their recording run is uninstrumented, so there is no
+// instrumented build to replay differentially).
 func instrKinds(strategy string) ([]graal.Instrumentation, error) {
-	if strategy == core.StrategyCombined {
-		return []graal.Instrumentation{graal.InstrCU, graal.InstrHeap}, nil
+	info, ok := core.StrategyByName(strategy)
+	if !ok {
+		return nil, fmt.Errorf("verify: unknown strategy %q", strategy)
 	}
-	instr, err := image.InstrumentationFor(strategy)
-	if err != nil {
-		return nil, err
-	}
-	return []graal.Instrumentation{instr}, nil
+	return append([]graal.Instrumentation(nil), info.Instr...), nil
 }
 
 // verifier carries the per-run state of one Run call.

@@ -157,7 +157,9 @@ const (
 	MemoryMapped = profiler.MemoryMapped
 )
 
-// Ordering strategies (Sec. 4 and 5 of the paper).
+// Ordering strategies: the paper's profile-guided layouts (Sec. 4 and 5)
+// plus the graph-based serve layouts over the recorded affinity graph
+// (c3 chain clustering, ext-TSP chain ordering).
 const (
 	StrategyCU          = core.StrategyCU
 	StrategyMethod      = core.StrategyMethod
@@ -165,9 +167,12 @@ const (
 	StrategyStructural  = core.StrategyStructural
 	StrategyHeapPath    = core.StrategyHeapPath
 	StrategyCombined    = core.StrategyCombined
+	StrategyC3          = core.StrategyC3
+	StrategyExtTSP      = core.StrategyExtTSP
 )
 
-// Strategies lists all evaluated strategies in figure order.
+// Strategies lists all evaluated strategies in figure order (the
+// registry's eval set: the paper's six plus the graph-based two).
 func Strategies() []string { return eval.Strategies() }
 
 // HeapStrategy computes 64-bit object identities for heap-snapshot

@@ -94,8 +94,16 @@ func TestFacadeDSL(t *testing.T) {
 }
 
 func TestFacadeStrategiesAndWorkloads(t *testing.T) {
-	if len(nimage.Strategies()) != 6 {
+	// The paper's six strategies plus the graph-based serve layouts.
+	if len(nimage.Strategies()) != 8 {
 		t.Errorf("strategies = %v", nimage.Strategies())
+	}
+	found := map[string]bool{}
+	for _, s := range nimage.Strategies() {
+		found[s] = true
+	}
+	if !found[nimage.StrategyC3] || !found[nimage.StrategyExtTSP] {
+		t.Errorf("graph strategies missing from %v", nimage.Strategies())
 	}
 	if len(nimage.HeapStrategies()) != 3 {
 		t.Error("heap strategies")
