@@ -10,10 +10,17 @@
 // output/BENCH_serve.json, and the "report" experiment writes the
 // consolidated observability document (output/report.json).
 //
+// The "slo" experiment is the serve SLO observatory: concurrent request
+// streams at several pressure levels, per-strategy SLO attainment and
+// error-budget burn (output/BENCH_slo.json, nimage.slo/v1, plus
+// serve-slo-p*.csv), with a telemetry-on/off overhead control reported
+// alongside.
+//
 // Usage:
 //
-//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|serve|report] [-workloads Bounce,micronaut]
+//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|serve|slo|report] [-workloads Bounce,micronaut]
 //	            [-builds N] [-iters N] [-device ssd|nfs] [-out output]
+//	            [-streams N] [-slo "p50=100us,p99=2ms"] [-slo-bursts N]
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"nimage/internal/core"
 	"nimage/internal/eval"
+	"nimage/internal/obs"
 	"nimage/internal/osim"
 	"nimage/internal/textviz"
 	"nimage/internal/workloads"
@@ -104,7 +112,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("nimage-eval", flag.ContinueOnError)
-	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|serve|report")
+	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|serve|slo|report")
 	builds := fs.Int("builds", 3, "images per strategy (paper: 10)")
 	iters := fs.Int("iters", 3, "cold runs per image (paper: 10)")
 	device := fs.String("device", "ssd", "storage device: ssd|nfs")
@@ -113,6 +121,9 @@ func run(args []string) error {
 	viz := fs.String("viz-workload", "Bounce", "workload of the Fig. 6 visualization")
 	workers := fs.Int("workers", 0, "concurrent build+measure tasks (0 = GOMAXPROCS; results are identical for every count)")
 	wfilter := fs.String("workloads", "", "comma-separated workload filter applied to every experiment (empty = full sets)")
+	streams := fs.Int("streams", 2, "concurrent request streams of the slo experiment")
+	sloFlag := fs.String("slo", "", "SLO targets of the slo experiment as p<quantile>=<duration> terms (empty = defaults)")
+	sloBursts := fs.Int("slo-bursts", 0, "request bursts of the slo experiment (0 = serve default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +138,19 @@ func run(args []string) error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *streams < 1 {
+		return fmt.Errorf("-streams must be >= 1 (concurrent request streams), got %d", *streams)
+	}
+	if *sloBursts < 0 {
+		return fmt.Errorf("-slo-bursts must be >= 0 (0 = serve default), got %d", *sloBursts)
+	}
+	var sloTargets []obs.SLOTarget
+	if *sloFlag != "" {
+		var err error
+		if sloTargets, err = obs.ParseSLOTargets(*sloFlag); err != nil {
+			return err
+		}
 	}
 	keep, err := parseWorkloadFilter(*wfilter)
 	if err != nil {
@@ -363,6 +387,93 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d figures)\n\n", path, len(serve.Figures))
+		return nil
+	})
+	run("slo", func() error {
+		// Serve SLO observatory: every layout scored against the latency
+		// SLOs over concurrent request streams at each pressure level, with
+		// the telemetry-on/off overhead control alongside.
+		ws := filterWorkloads(workloads.Serve(), keep)
+		if len(ws) == 0 {
+			fmt.Printf("slo: no selected workloads, skipped\n\n")
+			return nil
+		}
+		scfg := eval.DefaultServeConfig()
+		scfg.Streams = *streams
+		if *sloBursts > 0 {
+			scfg.Bursts = *sloBursts
+		}
+		pressures := eval.DefaultSLOPressures()
+		rep, err := h.SLOReport(ws, nil, scfg, sloTargets, pressures)
+		if err != nil {
+			return err
+		}
+		var labels []string
+		for _, t := range rep.Targets {
+			labels = append(labels, t.String())
+		}
+		rows := make([]textviz.SLORow, 0, len(rep.Entries)*len(rep.Targets))
+		for _, e := range rep.Entries {
+			for _, a := range e.Attainments {
+				rows = append(rows, textviz.SLORow{
+					Workload: e.Workload, Strategy: e.Strategy,
+					PressurePct: e.PressurePct,
+					Quantile:    a.Quantile, BudgetNanos: a.BudgetNanos,
+					MeasuredNanos: a.MeasuredNanos,
+					Violations:    a.Violations, Requests: a.Requests,
+					BudgetBurn: a.BudgetBurn, Attained: a.Attained,
+				})
+			}
+		}
+		fmt.Println(textviz.SLOTable(fmt.Sprintf("SLO attainment (%d streams, targets %s)",
+			rep.Streams, strings.Join(labels, " ")), rows))
+		orows := make([]textviz.SLOOverheadRow, 0, len(rep.Overhead))
+		for _, o := range rep.Overhead {
+			orows = append(orows, textviz.SLOOverheadRow{
+				Workload: o.Workload, Strategy: o.Strategy,
+				OnWallNanosPerReq:  o.OnWallNanosPerReq,
+				OffWallNanosPerReq: o.OffWallNanosPerReq,
+				OverheadFrac:       o.OverheadFrac,
+				SimIdentical:       o.SimIdentical,
+			})
+		}
+		fmt.Println(textviz.SLOOverheadTable(orows))
+		// One attainment CSV per pressure level, mirroring the serve CSVs.
+		for _, p := range pressures {
+			var sb strings.Builder
+			sb.WriteString("workload,strategy,pressure_pct,streams,target,budget_nanos,measured_nanos,violations,requests,violation_frac,budget_burn,attained\n")
+			for _, e := range rep.Entries {
+				if e.PressurePct != p {
+					continue
+				}
+				for _, a := range e.Attainments {
+					fmt.Fprintf(&sb, "%s,%s,%d,%d,%s,%.0f,%.0f,%d,%d,%.6f,%.4f,%t\n",
+						e.Workload, e.Strategy, e.PressurePct, e.Streams,
+						obs.SLOTarget{Quantile: a.Quantile, BudgetNanos: a.BudgetNanos},
+						a.BudgetNanos, a.MeasuredNanos, a.Violations, a.Requests,
+						a.ViolationFrac, a.BudgetBurn, a.Attained)
+				}
+			}
+			path := filepath.Join(*out, fmt.Sprintf("serve-slo-p%d.csv", p))
+			if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		// BENCH_slo.json is the nimage.slo/v1 document itself.
+		path := filepath.Join(*out, "BENCH_slo.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteSLOReport(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d entries, %d overhead controls)\n\n", path, len(rep.Entries), len(rep.Overhead))
 		return nil
 	})
 	run("report", func() error {

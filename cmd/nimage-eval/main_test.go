@@ -160,6 +160,71 @@ func TestRunServeFiltered(t *testing.T) {
 	}
 }
 
+// TestRunSloFiltered smoke-tests the SLO observatory figure: the
+// nimage.slo/v1 document and the per-pressure attainment CSVs must land
+// in the chosen output directory, with entries for every default
+// pressure level and the telemetry-overhead control alongside.
+func TestRunSloFiltered(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-figure", "slo", "-workloads", "serve-api",
+		"-builds", "1", "-iters", "1",
+		"-streams", "2", "-slo-bursts", "2",
+		"-out", dir, "-bench", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"serve-slo-p0.csv", "serve-slo-p30.csv", "serve-slo-p70.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("figure CSV %s missing: %v", f, err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_slo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema    string `json:"schema"`
+		Streams   int    `json:"streams"`
+		Pressures []int  `json:"pressures"`
+		Entries   []struct {
+			PressurePct int `json:"pressure_pct"`
+		} `json:"entries"`
+		Overhead []struct {
+			SimIdentical bool `json:"sim_identical"`
+		} `json:"overhead"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "nimage.slo/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.Streams != 2 {
+		t.Errorf("streams = %d, want 2", doc.Streams)
+	}
+	seen := map[int]bool{}
+	for _, e := range doc.Entries {
+		seen[e.PressurePct] = true
+	}
+	for _, p := range []int{0, 30, 70} {
+		if !seen[p] {
+			t.Errorf("no entries at pressure %d%%: %+v", p, doc.Pressures)
+		}
+	}
+	if len(doc.Overhead) == 0 {
+		t.Fatal("no telemetry-overhead control recorded")
+	}
+	for _, o := range doc.Overhead {
+		if !o.SimIdentical {
+			t.Error("telemetry on/off runs diverged in simulated outcome")
+		}
+	}
+}
+
 // TestRunRejectsUnknownWorkload: filter names must resolve.
 func TestRunRejectsUnknownWorkload(t *testing.T) {
 	if err := run([]string{"-figure", "2", "-workloads", "NoSuch", "-out", t.TempDir(), "-bench", ""}); err == nil {
@@ -177,6 +242,10 @@ func TestRunRejectsBadSizing(t *testing.T) {
 		"iters-zero":       {"-iters", "0"},
 		"iters-negative":   {"-iters", "-1"},
 		"workers-negative": {"-workers", "-2"},
+		"streams-zero":     {"-streams", "0"},
+		"streams-negative": {"-streams", "-2"},
+		"slo-bursts-neg":   {"-slo-bursts", "-1"},
+		"slo-bad-target":   {"-slo", "p0=1ms"},
 	}
 	for name, extra := range cases {
 		args := append([]string{"-figure", "2", "-workloads", "Bounce", "-out", t.TempDir(), "-bench", ""}, extra...)

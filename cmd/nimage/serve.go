@@ -12,7 +12,7 @@ import (
 // harness would silently substitute defaults for non-positive burst
 // counts, percentages outside [0,100] have no meaning as reclaim or
 // traffic fractions, and a negative page budget is neither unlimited
-// (that's 0) nor a cap.
+// (that's 0) nor a cap. Shared by `nimage serve` and `nimage slo`.
 func validateServeFlags(pressure, hotPct, bursts, burst, budget int) error {
 	if pressure < 0 || pressure > 100 {
 		return fmt.Errorf("-pressure must be between 0 and 100 (percent of resident pages), got %d", pressure)
@@ -48,7 +48,8 @@ func cmdServe(args []string) error {
 	hotPct := fs.Int("hot-pct", 80, "percent of requests hitting the hot routes")
 	hotRoutes := fs.Int("hot-routes", 4, "size of the hot route set")
 	seed := fs.Uint64("seed", 0, "request-stream seed (0 = default)")
-	report := fs.String("report", "", "write a nimage.report/v4 JSON document to this file")
+	streams := fs.Int("streams", 1, "concurrent closed-loop request streams")
+	report := fs.String("report", "", "write a nimage.report/v5 JSON document to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +59,9 @@ func cmdServe(args []string) error {
 	}
 	if err := validateServeFlags(*pressure, *hotPct, *bursts, *burst, *budget); err != nil {
 		return err
+	}
+	if *streams < 1 {
+		return fmt.Errorf("-streams must be >= 1 (concurrent request streams), got %d", *streams)
 	}
 
 	cfg := nimage.DefaultEvalConfig()
@@ -75,6 +79,9 @@ func cmdServe(args []string) error {
 		HotPct:      *hotPct,
 		HotRoutes:   *hotRoutes,
 		Seed:        *seed,
+		Streams:     *streams,
+		// The report's SLO section needs the per-request traces.
+		RecordRequests: *report != "",
 	}
 	switch *policy {
 	case "lru":
@@ -94,6 +101,9 @@ func cmdServe(args []string) error {
 
 	fmt.Printf("%s (%s layout, %s, %d bursts × %d requests, %d%% pressure",
 		w.Name, o.Strategy, cfg.Device.Name, len(o.Bursts), scfg.BurstSize, *pressure)
+	if *streams > 1 {
+		fmt.Printf(", %d streams", *streams)
+	}
 	if *budget > 0 {
 		fmt.Printf(", budget %d pages (%s)", *budget, *policy)
 	}

@@ -18,10 +18,12 @@ import (
 // per-entry fault attribution table (merged over all builds × iterations)
 // and the per-measure attribution tables inside Runs; v3 added the optional
 // per-entry serve-mode outcomes (burst telemetry under cache pressure); v4
-// adds the per-entry temporal co-access affinity graph (merged over builds
+// added the per-entry temporal co-access affinity graph (merged over builds
 // and iterations, schema nimage.affinity/v1) and the per-measure layout
-// scorecards.
-const ReportSchema = "nimage.report/v4"
+// scorecards; v5 adds the optional top-level SLO section (schema
+// nimage.slo/v1: per-strategy attainment and error-budget burn over the
+// serve request traces) and the per-outcome request traces behind it.
+const ReportSchema = "nimage.report/v5"
 
 // Report is the consolidated observability document the evaluation emits:
 // per workload and strategy, the build-pipeline snapshots (stage spans,
@@ -41,6 +43,10 @@ type Report struct {
 	// everything was already memoized).
 	ParallelSpeedup float64       `json:"parallel_speedup"`
 	Entries         []ReportEntry `json:"entries"`
+	// SLO is the serve SLO scorecard built from the entries' request
+	// traces (schema nimage.slo/v1); nil unless the report was produced by
+	// the serve protocol with request recording on.
+	SLO *obs.SLOReport `json:"slo,omitempty"`
 }
 
 // ReportEntry is the report of one (workload, strategy) pair. Strategy is
@@ -139,9 +145,12 @@ func (h *Harness) Report(ws []workloads.Workload, strategies []string) (*Report,
 }
 
 // ServeReport measures one serve workload under the baseline and the given
-// strategies and assembles a consolidated v3 document: one entry per
-// layout, carrying the per-build serve outcomes (with their obs snapshots
-// in Runs and the attribution merged across builds).
+// strategies and assembles a consolidated document: one entry per layout,
+// carrying the per-build serve outcomes (with their obs snapshots in Runs
+// and the attribution merged across builds). When the config records
+// requests, the per-layout request traces are additionally scored against
+// DefaultSLOTargets into the report's SLO section (at the config's single
+// pressure level — the full sweep lives in Harness.SLOReport).
 func (h *Harness) ServeReport(w workloads.Workload, strategies []string, scfg ServeConfig) (*Report, error) {
 	rep := &Report{
 		Schema:     ReportSchema,
@@ -150,10 +159,23 @@ func (h *Harness) ServeReport(w workloads.Workload, strategies []string, scfg Se
 		Iterations: 1,
 		Workers:    h.Workers(),
 	}
+	dcfg := scfg.withDefaults()
+	targets := obs.DefaultSLOTargets()
 	for _, s := range append([]string{LayoutBaseline}, strategies...) {
 		outs, err := h.MeasureServe(w, s, scfg)
 		if err != nil {
 			return nil, err
+		}
+		if scfg.RecordRequests {
+			if rep.SLO == nil {
+				rep.SLO = &obs.SLOReport{
+					Schema:    obs.SLOSchema,
+					Streams:   dcfg.Streams,
+					Pressures: []int{dcfg.PressurePct},
+					Targets:   targets,
+				}
+			}
+			rep.SLO.Entries = append(rep.SLO.Entries, sloEntry(w.Name, s, dcfg, outs, targets))
 		}
 		e := ReportEntry{
 			Workload: w.Name,

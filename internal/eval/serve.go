@@ -12,7 +12,6 @@ package eval
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 	"sort"
 
 	"nimage/internal/core"
@@ -49,6 +48,22 @@ type ServeConfig struct {
 	HotRoutes int `json:"hot_routes"`
 	// Seed drives the deterministic request stream.
 	Seed uint64 `json:"seed"`
+	// Streams is the number of concurrent closed-loop request streams
+	// multiplexed against the single long-lived mapping, all sharing one
+	// osim page-cache budget. 1 (the default) reproduces the serial
+	// protocol bit for bit. For N > 1, each burst is the union of every
+	// stream's BurstSize requests served in a deterministic seeded
+	// interleave: the server is a single simulated CPU, so a request
+	// waits in queue while requests of other streams are served — the
+	// queue-wait/service split the SLO scorecards consume. Concurrency
+	// is modeled, not goroutine-parallel, so results stay bit-identical
+	// across -workers and repeated runs (the scheduler's determinism
+	// contract).
+	Streams int `json:"streams,omitempty"`
+	// RecordRequests attaches the bounded per-request trace recorder
+	// (obs.RequestTrace) to the run; the trace rides on the outcome and
+	// feeds the SLO attainment math and the Chrome-trace export.
+	RecordRequests bool `json:"record_requests,omitempty"`
 }
 
 // DefaultServeConfig returns the serve-mode defaults: five bursts of 24
@@ -81,14 +96,17 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	if c.Seed == 0 {
 		c.Seed = d.Seed
 	}
+	if c.Streams <= 0 {
+		c.Streams = 1
+	}
 	return c
 }
 
 // key canonicalizes the config for memoization.
 func (c ServeConfig) key() string {
-	return fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d/%d",
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d/%d/%d/%t",
 		c.Bursts, c.BurstSize, c.PressurePct, c.CacheBudget, c.Policy,
-		c.HotPct, c.HotRoutes, c.Seed)
+		c.HotPct, c.HotRoutes, c.Seed, c.Streams, c.RecordRequests)
 }
 
 // BurstMeasure is the telemetry of one request burst. The eviction count
@@ -115,6 +133,12 @@ type BurstMeasure struct {
 	// Section residency at the end of the burst.
 	ResidentText int `json:"resident_text"`
 	ResidentHeap int `json:"resident_heap"`
+	// Queue-wait aggregates over the burst's requests: time spent waiting
+	// for the single simulated CPU while other streams were served. Zero
+	// (and omitted) for single-stream runs, whose latency is pure service
+	// time.
+	MeanQueueNanos float64 `json:"mean_queue_nanos,omitempty"`
+	MaxQueueNanos  float64 `json:"max_queue_nanos,omitempty"`
 }
 
 // ServeOutcome is one build's serve-mode run: startup, then the bursts.
@@ -143,6 +167,10 @@ type ServeOutcome struct {
 	// unless the harness observes or tracks affinity.
 	Affinity  *affinity.Graph     `json:"affinity,omitempty"`
 	Scorecard *affinity.Scorecard `json:"scorecard,omitempty"`
+	// Requests is the bounded per-request trace (queue/service split,
+	// fault traffic, burst and reclaim marks); nil unless
+	// ServeConfig.RecordRequests asked for it.
+	Requests *obs.RequestTrace `json:"requests,omitempty"`
 }
 
 // routeFor derives request k's route deterministically from the seed:
@@ -162,20 +190,48 @@ func routeFor(k int, cfg ServeConfig, routes int) int {
 	return int((h / 100) % uint64(routes))
 }
 
-// quantileExact returns the exact nearest-rank quantile of a sorted
-// sample (unlike obs histogram quantiles, which interpolate buckets).
-func quantileExact(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+// routeForStream derives request k of stream s. Stream 0 reuses the
+// routeFor sequence exactly — a Streams=1 run is bit-identical to the
+// pre-stream serial protocol — while higher streams fold their id into
+// the seed so concurrent streams pull distinct (but equally skewed)
+// request sequences.
+func routeForStream(stream, k int, cfg ServeConfig, routes int) int {
+	if stream > 0 {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(stream))
+		cfg.Seed = murmur.Sum64Seed(buf[:], cfg.Seed)
+	}
+	return routeFor(k, cfg, routes)
+}
+
+// pickStream selects which stream's request the server takes next: a
+// seeded deterministic interleave over the streams that still have
+// requests left in the burst. With one stream this is the identity
+// schedule; with several it shuffles service order reproducibly, so the
+// contention pattern is stable across -workers, runs and platforms.
+func pickStream(cfg ServeConfig, burst, step int, remaining []int) int {
+	if len(remaining) == 1 {
 		return 0
 	}
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
+	candidates := 0
+	for _, r := range remaining {
+		if r > 0 {
+			candidates++
+		}
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(burst))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(step))
+	pick := int(murmur.Sum64Seed(buf[:], cfg.Seed) % uint64(candidates))
+	for s, r := range remaining {
+		if r > 0 {
+			if pick == 0 {
+				return s
+			}
+			pick--
+		}
 	}
-	return sorted[idx]
+	panic("eval: pickStream with no remaining requests")
 }
 
 // MeasureServe runs the serve scenario for one workload and strategy
@@ -362,6 +418,7 @@ func (h *Harness) cachedServeGraph(key string) *affinity.Graph {
 // harness config — the serve affinity recording needs a graph even on
 // detached harnesses.
 func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy string, scfg ServeConfig, trackAffinity bool) (*ServeOutcome, error) {
+	scfg = scfg.withDefaults() // direct callers may pass a sparse config
 	cls := img.Program.Class(w.Serve.DispatchClass)
 	if cls == nil {
 		return nil, fmt.Errorf("eval: serve %s: dispatch class %s missing", w.Name, w.Serve.DispatchClass)
@@ -402,12 +459,20 @@ func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy stri
 	}
 
 	var latHist *obs.Histogram
+	var streamHists []*obs.Histogram
 	var burstTl *obs.Timeline
 	if o.Obs.Enabled() {
 		latHist = o.Obs.Histogram("serve.latency_nanos", obs.LatencyBuckets())
 		burstTl = o.Obs.Timeline("serve.burst",
 			"requests", "p50_nanos", "p99_nanos", "major", "minor",
 			"refaults", "evicted", "resident_text", "resident_heap")
+		if scfg.Streams > 1 {
+			streamHists = make([]*obs.Histogram, scfg.Streams)
+			for s := range streamHists {
+				streamHists[s] = o.Obs.Histogram(
+					fmt.Sprintf("serve.stream%02d.latency_nanos", s), obs.LatencyBuckets())
+			}
+		}
 	}
 
 	out := &ServeOutcome{
@@ -416,50 +481,112 @@ func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy stri
 		Config:       scfg,
 		StartupNanos: float64(st.TimeToResponse.Nanoseconds()),
 	}
+	var trace *obs.RequestTrace
+	if scfg.RecordRequests {
+		trace = obs.NewRequestTrace(scfg.Streams, scfg.Bursts*scfg.BurstSize*scfg.Streams)
+		trace.Workload = w.Name
+		trace.Layout = strategy
+	}
+	// The server clock: one simulated CPU executing requests back to back,
+	// so elapsed server time is the machine's CPU nanos plus all fault I/O
+	// it has waited on.
+	clock := func() float64 {
+		return proc.Machine.SimTimeNanos() + float64(proc.Mapping.IOTime.Nanoseconds())
+	}
 	var warm, all []float64
-	req := 0
+	reqByStream := make([]int, scfg.Streams) // per-stream request ordinal, for routes
+	reqID := 0
 	for b := 0; b < scfg.Bursts; b++ {
 		evict0 := f.EvictedPages()
 		if b > 0 && scfg.PressurePct > 0 {
 			o.ReclaimFraction(scfg.PressurePct)
+			trace.Mark(obs.MarkReclaim, b, clock())
 		}
+		trace.Mark(obs.MarkBurst, b, clock())
 		faults0 := proc.Mapping.Faults
 		major0 := proc.Mapping.MajorFaults
 		refault0 := proc.Mapping.Refaults
 		io0 := proc.Mapping.IOTime
-		lats := make([]float64, 0, scfg.BurstSize)
-		for i := 0; i < scfg.BurstSize; i++ {
-			route := routeFor(req, scfg, w.Serve.Routes)
-			req++
-			t0 := proc.Machine.SimTimeNanos()
-			d0 := proc.Mapping.IOTime
+		// Closed-loop clients: every stream submits its first request at
+		// the burst start and its next one the instant the previous
+		// response returns. The single-CPU server drains the burst in the
+		// seeded interleave order; the gap between a request's arrival and
+		// its service start is queue wait.
+		burstStart := clock()
+		arrival := make([]float64, scfg.Streams)
+		remaining := make([]int, scfg.Streams)
+		for s := range remaining {
+			arrival[s] = burstStart
+			remaining[s] = scfg.BurstSize
+		}
+		total := scfg.Streams * scfg.BurstSize
+		lats := make([]float64, 0, total)
+		var queueSum, queueMax float64
+		for t := 0; t < total; t++ {
+			s := pickStream(scfg, b, t, remaining)
+			remaining[s]--
+			k := reqByStream[s]
+			reqByStream[s]++
+			route := routeForStream(s, k, scfg, w.Serve.Routes)
+			if scfg.Streams > 1 {
+				proc.Mapping.SetStream(s)
+			}
+			serviceStart := clock()
+			rFaults0 := proc.Mapping.Faults
+			rMajor0 := proc.Mapping.MajorFaults
+			rRefault0 := proc.Mapping.Refaults
+			rIO0 := proc.Mapping.IOTime
+			steps0 := proc.Machine.Steps
 			if _, err := proc.Machine.RunMethod(meth, heap.IntVal(int64(route))); err != nil {
 				proc.Close()
-				return nil, fmt.Errorf("eval: serve %s burst %d request %d: %w", w.Name, b, i, err)
+				return nil, fmt.Errorf("eval: serve %s burst %d request %d: %w", w.Name, b, t, err)
 			}
-			lat := (proc.Machine.SimTimeNanos() - t0) +
-				float64((proc.Mapping.IOTime - d0).Nanoseconds())
+			end := clock()
+			service := end - serviceStart
+			queue := serviceStart - arrival[s]
+			lat := queue + service
+			arrival[s] = end
+			queueSum += queue
+			if queue > queueMax {
+				queueMax = queue
+			}
 			lats = append(lats, lat)
-			if latHist != nil {
-				latHist.Observe(lat)
+			latHist.Observe(lat)
+			if streamHists != nil {
+				streamHists[s].Observe(lat)
 			}
+			trace.Record(obs.RequestRecord{
+				ID: reqID, Stream: s, Burst: b, Route: route,
+				StartNanos: serviceStart - queue, QueueNanos: queue,
+				ServiceNanos: service, LatencyNanos: lat,
+				Steps:       proc.Machine.Steps - steps0,
+				Faults:      proc.Mapping.Faults - rFaults0,
+				MajorFaults: proc.Mapping.MajorFaults - rMajor0,
+				Refaults:    proc.Mapping.Refaults - rRefault0,
+				IONanos:     (proc.Mapping.IOTime - rIO0).Nanoseconds(),
+			})
+			reqID++
 		}
 		sort.Float64s(lats)
 		major := proc.Mapping.MajorFaults - major0
 		bm := BurstMeasure{
-			Burst:        b,
-			Requests:     len(lats),
-			P50Nanos:     quantileExact(lats, 0.50),
-			P90Nanos:     quantileExact(lats, 0.90),
-			P99Nanos:     quantileExact(lats, 0.99),
-			MeanNanos:    Mean(lats),
-			MajorFaults:  major,
-			MinorFaults:  (proc.Mapping.Faults - faults0) - major,
-			Refaults:     proc.Mapping.Refaults - refault0,
-			IONanos:      (proc.Mapping.IOTime - io0).Nanoseconds(),
-			EvictedPages: f.EvictedPages() - evict0,
-			ResidentText: f.ResidentInSection(image.SectionText),
-			ResidentHeap: f.ResidentInSection(image.SectionHeap),
+			Burst:         b,
+			Requests:      len(lats),
+			P50Nanos:      obs.QuantileExact(lats, 0.50),
+			P90Nanos:      obs.QuantileExact(lats, 0.90),
+			P99Nanos:      obs.QuantileExact(lats, 0.99),
+			MeanNanos:     Mean(lats),
+			MajorFaults:   major,
+			MinorFaults:   (proc.Mapping.Faults - faults0) - major,
+			Refaults:      proc.Mapping.Refaults - refault0,
+			IONanos:       (proc.Mapping.IOTime - io0).Nanoseconds(),
+			EvictedPages:  f.EvictedPages() - evict0,
+			ResidentText:  f.ResidentInSection(image.SectionText),
+			ResidentHeap:  f.ResidentInSection(image.SectionHeap),
+			MaxQueueNanos: queueMax,
+		}
+		if len(lats) > 0 {
+			bm.MeanQueueNanos = queueSum / float64(len(lats))
 		}
 		out.Bursts = append(out.Bursts, bm)
 		if burstTl != nil {
@@ -479,7 +606,8 @@ func (h *Harness) serveRun(img *image.Image, w workloads.Workload, strategy stri
 	}
 	sort.Float64s(warm)
 	out.WarmMeanNanos = Mean(warm)
-	out.WarmP99Nanos = quantileExact(warm, 0.99)
+	out.WarmP99Nanos = obs.QuantileExact(warm, 0.99)
+	out.Requests = trace
 	out.EvictedPages = f.EvictedPages()
 	out.RefaultPages = f.RefaultedPages()
 	if tab := proc.AttributionTable(); tab != nil {

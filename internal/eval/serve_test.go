@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -264,7 +265,7 @@ func TestServeLatencyTable(t *testing.T) {
 	}
 }
 
-func TestServeReportV4(t *testing.T) {
+func TestServeReportV5(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Builds = 1
 	cfg.Iterations = 1
@@ -275,8 +276,11 @@ func TestServeReportV4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "nimage.report/v4" {
+	if rep.Schema != "nimage.report/v5" {
 		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.SLO != nil {
+		t.Error("report carries an SLO section without request recording")
 	}
 	if len(rep.Entries) != 1 {
 		t.Fatalf("got %d entries, want 1 (baseline only)", len(rep.Entries))
@@ -336,35 +340,193 @@ func TestRouteForSkew(t *testing.T) {
 	}
 }
 
-func TestQuantileExact(t *testing.T) {
-	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := quantileExact(s, 0.5); got != 5 {
-		t.Errorf("p50 = %v", got)
+// TestServeStreamsDeterministic is the acceptance contract of the
+// multiplexed serve harness: with Streams >= 2 the outcomes — request
+// traces included — are bit-identical for every worker count and across
+// repeated runs.
+func TestServeStreamsDeterministic(t *testing.T) {
+	w := serveWorkload(t, "serve-cache")
+	scfg := serveTestConfig()
+	scfg.Streams = 3
+	scfg.RecordRequests = true
+	var prev []*ServeOutcome
+	for _, workers := range []int{1, 4, 4} {
+		cfg := DefaultConfig()
+		cfg.Builds = 2
+		cfg.Iterations = 1
+		cfg.Workers = workers
+		h := NewHarness(cfg)
+		outs, err := h.MeasureServe(w, "", scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !reflect.DeepEqual(deref(prev), deref(outs)) {
+			t.Fatalf("streamed outcomes differ at %d workers", workers)
+		}
+		prev = outs
 	}
-	if got := quantileExact(s, 0.99); got != 10 {
-		t.Errorf("p99 = %v", got)
+}
+
+// TestServeSingleStreamBackCompat pins the Streams=1 protocol to the
+// legacy single-client behavior: queue wait identically zero and the
+// same route sequence, so pre-stream outcomes stay reproducible.
+func TestServeSingleStreamBackCompat(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	h := NewHarness(cfg)
+	w := serveWorkload(t, "serve-api")
+	scfg := serveTestConfig()
+	scfg.Streams = 1
+	scfg.RecordRequests = true
+	outs, err := h.MeasureServe(w, "", scfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := quantileExact(s, 0.1); got != 1 {
-		t.Errorf("p10 = %v", got)
+	o := outs[0]
+	if o.Requests == nil {
+		t.Fatal("recording run carries no request trace")
 	}
-	if got := quantileExact(nil, 0.5); got != 0 {
-		t.Errorf("empty = %v", got)
+	want := scfg.Bursts * scfg.BurstSize
+	if len(o.Requests.Records) != want || o.Requests.Dropped != 0 {
+		t.Fatalf("trace has %d records (%d dropped), want %d",
+			len(o.Requests.Records), o.Requests.Dropped, want)
 	}
-	if got := quantileExact([]float64{7}, 0.99); got != 7 {
-		t.Errorf("singleton = %v", got)
+	for i, r := range o.Requests.Records {
+		if r.QueueNanos != 0 {
+			t.Fatalf("record %d: single stream queued %v nanos", i, r.QueueNanos)
+		}
+		if r.Stream != 0 {
+			t.Fatalf("record %d: stream %d", i, r.Stream)
+		}
+		if r.Route != routeFor(i, scfg, w.Serve.Routes) {
+			t.Fatalf("record %d: route %d diverges from the legacy sequence", i, r.Route)
+		}
 	}
-	// Boundary quantiles: q=0 is the minimum, q=1 the maximum, and a
-	// single sample answers every quantile with itself.
-	if got := quantileExact(s, 0); got != 1 {
-		t.Errorf("q=0 = %v, want minimum 1", got)
+	for i, b := range o.Bursts {
+		if b.MeanQueueNanos != 0 || b.MaxQueueNanos != 0 {
+			t.Errorf("burst %d: nonzero queue aggregates for a single stream", i)
+		}
 	}
-	if got := quantileExact(s, 1); got != 10 {
-		t.Errorf("q=1 = %v, want maximum 10", got)
+	// Against a plain run without recording the simulated numbers match.
+	plain := scfg
+	plain.RecordRequests = false
+	pouts, err := h.MeasureServe(w, "", plain)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := quantileExact([]float64{7}, 0); got != 7 {
-		t.Errorf("singleton q=0 = %v", got)
+	if !sameSimOutcome(outs[0], pouts[0]) {
+		t.Error("request recording perturbed the simulated outcome")
 	}
-	if got := quantileExact([]float64{7}, 1); got != 7 {
-		t.Errorf("singleton q=1 = %v", got)
+}
+
+// TestServeStreamTraceReconciliation drives a multi-stream recorded run
+// and reconciles the trace against the burst measures, the per-stream
+// osim fault counters, and the per-stream latency histograms.
+func TestServeStreamTraceReconciliation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Builds = 1
+	cfg.Iterations = 1
+	cfg.Observe = true
+	h := NewHarness(cfg)
+	w := serveWorkload(t, "serve-cache")
+	scfg := ServeConfig{
+		Bursts: 3, BurstSize: 6, Streams: 2, CacheBudget: 48,
+		HotPct: 0, HotRoutes: 1, Seed: 11, RecordRequests: true,
+	}
+	outs, err := h.MeasureServe(w, "", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outs[0]
+	if o.Requests == nil {
+		t.Fatal("recording run carries no request trace")
+	}
+	total := scfg.Bursts * scfg.BurstSize * scfg.Streams
+	if len(o.Requests.Records) != total {
+		t.Fatalf("trace has %d records, want %d", len(o.Requests.Records), total)
+	}
+	if o.Requests.Streams != scfg.Streams {
+		t.Fatalf("trace streams = %d", o.Requests.Streams)
+	}
+	// Every burst measure aggregates exactly its records.
+	perBurst := make([]int, scfg.Bursts)
+	queued := false
+	byStream := map[int]int{}
+	var traceFaults, traceMajor, traceRefaults int64
+	for _, r := range o.Requests.Records {
+		perBurst[r.Burst]++
+		byStream[r.Stream]++
+		traceFaults += r.Faults
+		traceMajor += r.MajorFaults
+		traceRefaults += r.Refaults
+		if r.QueueNanos > 0 {
+			queued = true
+		}
+		if r.LatencyNanos != r.QueueNanos+r.ServiceNanos {
+			t.Fatalf("record %d: latency %v != queue %v + service %v",
+				r.ID, r.LatencyNanos, r.QueueNanos, r.ServiceNanos)
+		}
+	}
+	for b, n := range perBurst {
+		if n != scfg.BurstSize*scfg.Streams {
+			t.Errorf("burst %d: %d records, want %d", b, n, scfg.BurstSize*scfg.Streams)
+		}
+		if o.Bursts[b].Requests != n {
+			t.Errorf("burst %d: measure requests %d != trace %d", b, o.Bursts[b].Requests, n)
+		}
+	}
+	for s := 0; s < scfg.Streams; s++ {
+		if byStream[s] != scfg.Bursts*scfg.BurstSize {
+			t.Errorf("stream %d served %d requests, want %d", s, byStream[s], scfg.Bursts*scfg.BurstSize)
+		}
+	}
+	if !queued {
+		t.Error("two closed-loop streams on one server never queued")
+	}
+	// Burst-boundary and reclaim marks on the shared clock.
+	var bursts, reclaims int
+	for _, m := range o.Requests.Marks {
+		switch m.Kind {
+		case "burst":
+			bursts++
+		case "reclaim":
+			reclaims++
+		}
+	}
+	if bursts != scfg.Bursts {
+		t.Errorf("trace has %d burst marks, want %d", bursts, scfg.Bursts)
+	}
+	if reclaims != 0 {
+		t.Errorf("trace has %d reclaim marks with zero pressure", reclaims)
+	}
+	// The per-burst fault deltas cover exactly the trace's attribution.
+	var burstFaults, burstMajor, burstRefaults int64
+	for _, b := range o.Bursts {
+		burstFaults += b.MinorFaults + b.MajorFaults
+		burstMajor += b.MajorFaults
+		burstRefaults += b.Refaults
+	}
+	if traceFaults != burstFaults || traceMajor != burstMajor || traceRefaults != burstRefaults {
+		t.Errorf("trace faults (%d/%d/%d) != burst deltas (%d/%d/%d)",
+			traceFaults, traceMajor, traceRefaults, burstFaults, burstMajor, burstRefaults)
+	}
+	// The obs snapshot carries one latency histogram per stream whose
+	// counts partition the run's requests.
+	if o.Report == nil {
+		t.Fatal("observed run carries no snapshot")
+	}
+	perStream := 0
+	for _, hp := range o.Report.Histograms {
+		var s int
+		if _, err := fmt.Sscanf(hp.Name, "serve.stream%02d.latency_nanos", &s); err == nil {
+			perStream++
+			if hp.Count != int64(scfg.Bursts*scfg.BurstSize) {
+				t.Errorf("stream %d histogram count %d, want %d", s, hp.Count, scfg.Bursts*scfg.BurstSize)
+			}
+		}
+	}
+	if perStream != scfg.Streams {
+		t.Fatalf("snapshot has %d per-stream latency histograms, want %d", perStream, scfg.Streams)
 	}
 }

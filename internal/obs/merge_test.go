@@ -146,3 +146,50 @@ func TestMergeSnapshotsRegistries(t *testing.T) {
 		t.Errorf("spans = %+v", m1.Spans)
 	}
 }
+
+// TestMergeSnapshotsStreamHistograms is the serve-SLO merge contract:
+// per-stream latency histograms recorded by independent registries (one
+// per concurrent stream, as the multi-stream serve harness does) merge
+// into quantiles identical to a single histogram observing the union of
+// all samples, regardless of merge order.
+func TestMergeSnapshotsStreamHistograms(t *testing.T) {
+	bounds := LatencyBuckets()
+	streams := [][]float64{
+		{150, 900, 42e3, 1.5e6, 300},
+		{75, 75, 2.1e6, 512, 64e3},
+		{9e6, 250, 250, 1e3, 33e3},
+	}
+	var snaps []*Snapshot
+	union := NewRegistry()
+	uh := union.Histogram("serve.latency_nanos", bounds)
+	for _, samples := range streams {
+		r := NewRegistry()
+		h := r.Histogram("serve.latency_nanos", bounds)
+		for _, v := range samples {
+			h.Observe(v)
+			uh.Observe(v)
+		}
+		snaps = append(snaps, r.Snapshot())
+	}
+	want := union.Snapshot().Histograms[0]
+
+	merged := MergeSnapshots(snaps...)
+	reversed := MergeSnapshots(snaps[2], snaps[1], snaps[0])
+	for _, m := range []*Snapshot{merged, reversed} {
+		if len(m.Histograms) != 1 {
+			t.Fatalf("merged %d histograms, want 1", len(m.Histograms))
+		}
+		got := m.Histograms[0]
+		if got.Count != want.Count || got.Sum != want.Sum {
+			t.Errorf("merged count/sum %d/%v, want %d/%v", got.Count, got.Sum, want.Count, want.Sum)
+		}
+		if !reflect.DeepEqual(got.Counts, want.Counts) {
+			t.Errorf("merged bucket counts %v, want union %v", got.Counts, want.Counts)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			if got.Quantile(q) != want.Quantile(q) {
+				t.Errorf("merged q%v = %v, union = %v", q, got.Quantile(q), want.Quantile(q))
+			}
+		}
+	}
+}

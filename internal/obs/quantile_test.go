@@ -77,3 +77,45 @@ func TestHistogramQuantileClampsQ(t *testing.T) {
 		t.Fatalf("q>1 not clamped: %v", got)
 	}
 }
+
+func TestQuantileExact(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0.5, 5}, {0.99, 10}, {0.1, 1}, {0.9, 9},
+		// Boundary quantiles: q=0 is the minimum, q=1 the maximum.
+		{0, 1}, {1, 10},
+	} {
+		if got := QuantileExact(s, tc.q); got != tc.want {
+			t.Errorf("q=%v = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileExactEmpty(t *testing.T) {
+	if got := QuantileExact(nil, 0.5); got != 0 {
+		t.Errorf("nil sample = %v, want 0", got)
+	}
+	if got := QuantileExact([]float64{}, 0.99); got != 0 {
+		t.Errorf("empty sample = %v, want 0", got)
+	}
+}
+
+func TestQuantileExactSingleton(t *testing.T) {
+	// A single sample answers every quantile with itself.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := QuantileExact([]float64{7}, q); got != 7 {
+			t.Errorf("singleton q=%v = %v", q, got)
+		}
+	}
+}
+
+func TestQuantileExactRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuantileExact accepted an unsorted sample")
+		}
+	}()
+	QuantileExact([]float64{3, 1, 2}, 0.5)
+}

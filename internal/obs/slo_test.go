@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseSLOTargets(t *testing.T) {
+	got, err := ParseSLOTargets("p50=100us, p99=2ms ,p99.9=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SLOTarget{
+		{Quantile: 0.50, BudgetNanos: 100e3},
+		{Quantile: 0.99, BudgetNanos: 2e6},
+		{Quantile: 0.999, BudgetNanos: 10e6},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d targets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i].Quantile-want[i].Quantile) > 1e-12 ||
+			got[i].BudgetNanos != want[i].BudgetNanos {
+			t.Errorf("target %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// String renders back in flag syntax.
+	if s := want[2].String(); s != "p99.9=10ms" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestParseSLOTargetsRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"  ",
+		",",
+		"p99",
+		"99=2ms",
+		"p0=1ms",
+		"p100=1ms",
+		"p-5=1ms",
+		"pNaN=1ms",
+		"p99=0s",
+		"p99=-2ms",
+		"p99=fast",
+		"p99=2ms,p50=1ms", // not increasing
+		"p99=2ms,p99=3ms", // not strictly increasing
+	} {
+		if _, err := ParseSLOTargets(bad); err == nil {
+			t.Errorf("ParseSLOTargets(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "must") {
+			t.Errorf("ParseSLOTargets(%q) error %q does not explain the constraint", bad, err)
+		}
+	}
+}
+
+func TestAttainment(t *testing.T) {
+	// 100 samples: 1..100 (sorted). For p99 <= 98 there are 2 violations
+	// (99, 100), a 2% violation fraction against a 1% error budget: burn 2.
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i + 1)
+	}
+	got := Attainment(sample, []SLOTarget{
+		{Quantile: 0.50, BudgetNanos: 60},
+		{Quantile: 0.99, BudgetNanos: 98},
+	})
+	p50 := got[0]
+	if p50.MeasuredNanos != 50 || p50.Violations != 40 || !p50.Attained {
+		t.Errorf("p50 attainment = %+v", p50)
+	}
+	// 40 violations over a 50%% tolerance: burn 0.8.
+	if math.Abs(p50.BudgetBurn-0.8) > 1e-12 {
+		t.Errorf("p50 burn = %v, want 0.8", p50.BudgetBurn)
+	}
+	p99 := got[1]
+	if p99.MeasuredNanos != 99 || p99.Violations != 2 || p99.Attained {
+		t.Errorf("p99 attainment = %+v", p99)
+	}
+	if math.Abs(p99.BudgetBurn-2) > 1e-12 {
+		t.Errorf("p99 burn = %v, want 2", p99.BudgetBurn)
+	}
+}
+
+func TestAttainmentAtBudgetIsWithinBudget(t *testing.T) {
+	sample := []float64{1, 2, 2, 2, 3}
+	got := Attainment(sample, []SLOTarget{{Quantile: 0.5, BudgetNanos: 2}})
+	if got[0].Violations != 1 {
+		t.Errorf("violations = %d, want only the 3 (at-budget 2s are within)", got[0].Violations)
+	}
+}
+
+func TestAttainmentEmptySample(t *testing.T) {
+	got := Attainment(nil, DefaultSLOTargets())
+	for _, a := range got {
+		if !a.Attained || a.Violations != 0 || a.BudgetBurn != 0 {
+			t.Errorf("empty sample attainment = %+v", a)
+		}
+	}
+}
+
+func sampleSLOReport() *SLOReport {
+	return &SLOReport{
+		Schema:    SLOSchema,
+		Streams:   2,
+		Pressures: []int{0, 30, 70},
+		Targets:   DefaultSLOTargets(),
+		Entries: []SLOEntry{{
+			Workload: "serve-api", Strategy: "identity", PressurePct: 30,
+			Streams: 2, Requests: 96,
+			Attainments: Attainment([]float64{100, 200, 3e6}, DefaultSLOTargets()),
+		}},
+		Overhead: []SLOOverhead{{
+			Workload: "serve-api", Strategy: "identity", Requests: 96,
+			OnWallNanosPerReq: 1200, OffWallNanosPerReq: 1000,
+			OverheadFrac: 0.2, SimIdentical: true,
+		}},
+	}
+}
+
+func TestSLOReportCodecRoundTrip(t *testing.T) {
+	rep := sampleSLOReport()
+	var buf bytes.Buffer
+	if err := WriteSLOReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSLOReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip changed the report:\n%s\n%s", a, b)
+	}
+}
+
+func TestReadSLOReportRejectsHostile(t *testing.T) {
+	for name, doc := range map[string]string{
+		"bad schema":     `{"schema":"nope","streams":1}`,
+		"zero streams":   `{"schema":"nimage.slo/v1","streams":0}`,
+		"bad pressure":   `{"schema":"nimage.slo/v1","streams":1,"pressures":[130]}`,
+		"bad quantile":   `{"schema":"nimage.slo/v1","streams":1,"targets":[{"quantile":1.5,"budget_nanos":10}]}`,
+		"zero budget":    `{"schema":"nimage.slo/v1","streams":1,"targets":[{"quantile":0.5,"budget_nanos":0}]}`,
+		"empty workload": `{"schema":"nimage.slo/v1","streams":1,"entries":[{"workload":"","strategy":"x","streams":1}]}`,
+		"violations oob": `{"schema":"nimage.slo/v1","streams":1,"entries":[{"workload":"w","streams":1,"attainments":[{"quantile":0.5,"budget_nanos":1,"violations":5,"requests":2}]}]}`,
+		"bad frac":       `{"schema":"nimage.slo/v1","streams":1,"entries":[{"workload":"w","streams":1,"attainments":[{"quantile":0.5,"budget_nanos":1,"violation_frac":2}]}]}`,
+		"bad overhead":   `{"schema":"nimage.slo/v1","streams":1,"overhead":[{"workload":"w","on_wall_nanos_per_req":-1}]}`,
+		"not json":       `]`,
+	} {
+		if _, err := ReadSLOReport(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzSLOCodec fuzzes both codecs of the SLO observatory: any input must
+// either be rejected or decode to a document that re-encodes and
+// re-decodes to the same value (accepted inputs are a round-trip fixed
+// point), and no input may panic the decoder.
+func FuzzSLOCodec(f *testing.F) {
+	var tr bytes.Buffer
+	if err := WriteRequestTrace(&tr, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tr.Bytes())
+	var rep bytes.Buffer
+	if err := WriteSLOReport(&rep, sampleSLOReport()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rep.Bytes())
+	f.Add([]byte(`{"schema":"nimage.reqtrace/v1","streams":1,"limit":0}`))
+	f.Add([]byte(`{"schema":"nimage.slo/v1","streams":1}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if tr, err := ReadRequestTrace(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := WriteRequestTrace(&buf, tr); err != nil {
+				t.Fatalf("accepted trace failed to encode: %v", err)
+			}
+			again, err := ReadRequestTrace(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-encoded trace rejected: %v", err)
+			}
+			a, _ := json.Marshal(tr)
+			b, _ := json.Marshal(again)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("trace round trip not a fixed point:\n%s\n%s", a, b)
+			}
+		}
+		if rep, err := ReadSLOReport(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := WriteSLOReport(&buf, rep); err != nil {
+				t.Fatalf("accepted report failed to encode: %v", err)
+			}
+			again, err := ReadSLOReport(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-encoded report rejected: %v", err)
+			}
+			a, _ := json.Marshal(rep)
+			b, _ := json.Marshal(again)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("report round trip not a fixed point:\n%s\n%s", a, b)
+			}
+		}
+	})
+}

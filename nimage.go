@@ -489,6 +489,109 @@ func BurstTableText(title string, rows []BurstRowText) string {
 	return textviz.BurstTable(title, rows)
 }
 
+// Serve SLO observatory (Harness.SLOReport / `nimage slo`): concurrent
+// request streams multiplexed against one long-lived mapping, per-request
+// traces, and pressure-sweep SLO scorecards with a telemetry-overhead
+// control.
+
+// SLOTarget is one latency objective (quantile + budget).
+type SLOTarget = obs.SLOTarget
+
+// SLOAttainment is one target's score over a measured latency sample.
+type SLOAttainment = obs.SLOAttainment
+
+// SLOEntry is one (workload, strategy, pressure) cell of the SLO sweep.
+type SLOEntry = obs.SLOEntry
+
+// SLOOverhead is one telemetry-on/off overhead control run.
+type SLOOverhead = obs.SLOOverhead
+
+// SLOReport is the pressure-sweep SLO document (nimage.slo/v1).
+type SLOReport = obs.SLOReport
+
+// RequestTrace is the bounded per-request recording of one serve run.
+type RequestTrace = obs.RequestTrace
+
+// RequestRecord is the telemetry of one served request.
+type RequestRecord = obs.RequestRecord
+
+// DefaultSLOTargets returns the default serve objectives
+// (p50/p95/p99/p99.9 latency budgets).
+func DefaultSLOTargets() []SLOTarget { return obs.DefaultSLOTargets() }
+
+// ParseSLOTargets parses a -slo flag value like "p50=100us,p99=2ms".
+func ParseSLOTargets(s string) ([]SLOTarget, error) { return obs.ParseSLOTargets(s) }
+
+// DefaultSLOPressures returns the default sweep pressure levels (0/30/70%).
+func DefaultSLOPressures() []int { return eval.DefaultSLOPressures() }
+
+// SLOAttainmentOf scores a sorted latency sample against each target.
+func SLOAttainmentOf(sorted []float64, targets []SLOTarget) []SLOAttainment {
+	return obs.Attainment(sorted, targets)
+}
+
+var (
+	// WriteSLOReport / ReadSLOReport are the nimage.slo/v1 codec.
+	WriteSLOReport = obs.WriteSLOReport
+	ReadSLOReport  = obs.ReadSLOReport
+	// WriteRequestTrace / ReadRequestTrace are the nimage.reqtrace/v1 codec;
+	// WriteRequestChromeTrace exports a trace as Chrome trace-event JSON
+	// (one track per stream) for chrome://tracing and Perfetto.
+	WriteRequestTrace       = obs.WriteRequestTrace
+	ReadRequestTrace        = obs.ReadRequestTrace
+	WriteRequestChromeTrace = obs.WriteRequestChromeTrace
+)
+
+// SLORowText is one attainment row of the rendered SLO table, and
+// SLOOverheadRowText one overhead-control row.
+type SLORowText = textviz.SLORow
+
+type SLOOverheadRowText = textviz.SLOOverheadRow
+
+// SLOTableText renders the SLO attainment scorecard as a text table.
+func SLOTableText(title string, rows []SLORowText) string {
+	return textviz.SLOTable(title, rows)
+}
+
+// SLOOverheadTableText renders the telemetry-overhead control table.
+func SLOOverheadTableText(rows []SLOOverheadRowText) string {
+	return textviz.SLOOverheadTable(rows)
+}
+
+// SLORows flattens an SLO report's entries into renderable table rows.
+func SLORows(rep *SLOReport) []SLORowText {
+	var rows []SLORowText
+	for _, e := range rep.Entries {
+		for _, a := range e.Attainments {
+			rows = append(rows, SLORowText{
+				Workload: e.Workload, Strategy: e.Strategy,
+				PressurePct: e.PressurePct,
+				Quantile:    a.Quantile, BudgetNanos: a.BudgetNanos,
+				MeasuredNanos: a.MeasuredNanos,
+				Violations:    a.Violations, Requests: a.Requests,
+				BudgetBurn: a.BudgetBurn, Attained: a.Attained,
+			})
+		}
+	}
+	return rows
+}
+
+// SLOOverheadRows flattens an SLO report's overhead controls into
+// renderable table rows.
+func SLOOverheadRows(rep *SLOReport) []SLOOverheadRowText {
+	var rows []SLOOverheadRowText
+	for _, o := range rep.Overhead {
+		rows = append(rows, SLOOverheadRowText{
+			Workload: o.Workload, Strategy: o.Strategy,
+			OnWallNanosPerReq:  o.OnWallNanosPerReq,
+			OffWallNanosPerReq: o.OffWallNanosPerReq,
+			OverheadFrac:       o.OverheadFrac,
+			SimIdentical:       o.SimIdentical,
+		})
+	}
+	return rows
+}
+
 // Visualization (Fig. 6).
 
 // PageState classifies one page of a section after a run.
