@@ -16,11 +16,17 @@
 // serve-slo-p*.csv), with a telemetry-on/off overhead control reported
 // alongside.
 //
+// The "search" experiment runs the SLO-driven layout search on every
+// serve workload and scores the searched layout against the c3 and
+// ext-tsp seeds on the search's own objective (output/BENCH_search.json,
+// per-workload nimage.search/v1 journals, plus search-iterations.csv).
+//
 // Usage:
 //
-//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|serve|slo|report] [-workloads Bounce,micronaut]
+//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|serve|slo|search|report] [-workloads Bounce,micronaut]
 //	            [-builds N] [-iters N] [-device ssd|nfs] [-out output]
 //	            [-streams N] [-slo "p50=100us,p99=2ms"] [-slo-bursts N]
+//	            [-search-iters N] [-search-topk N]
 package main
 
 import (
@@ -112,7 +118,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("nimage-eval", flag.ContinueOnError)
-	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|serve|slo|report")
+	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|serve|slo|search|report")
 	builds := fs.Int("builds", 3, "images per strategy (paper: 10)")
 	iters := fs.Int("iters", 3, "cold runs per image (paper: 10)")
 	device := fs.String("device", "ssd", "storage device: ssd|nfs")
@@ -124,6 +130,8 @@ func run(args []string) error {
 	streams := fs.Int("streams", 2, "concurrent request streams of the slo experiment")
 	sloFlag := fs.String("slo", "", "SLO targets of the slo experiment as p<quantile>=<duration> terms (empty = defaults)")
 	sloBursts := fs.Int("slo-bursts", 0, "request bursts of the slo experiment (0 = serve default)")
+	searchIters := fs.Int("search-iters", 2, "search iterations of the search experiment")
+	searchTopK := fs.Int("search-topk", 2, "candidates promoted per iteration in the search experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,6 +152,12 @@ func run(args []string) error {
 	}
 	if *sloBursts < 0 {
 		return fmt.Errorf("-slo-bursts must be >= 0 (0 = serve default), got %d", *sloBursts)
+	}
+	if *searchIters < 1 || *searchIters > 4096 {
+		return fmt.Errorf("-search-iters must be between 1 and 4096, got %d", *searchIters)
+	}
+	if *searchTopK < 1 || *searchTopK > 1024 {
+		return fmt.Errorf("-search-topk must be between 1 and 1024, got %d", *searchTopK)
 	}
 	var sloTargets []obs.SLOTarget
 	if *sloFlag != "" {
@@ -474,6 +488,143 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d entries, %d overhead controls)\n\n", path, len(rep.Entries), len(rep.Overhead))
+		return nil
+	})
+	run("search", func() error {
+		// SLO-driven layout search: run the budget-bounded rebake loop on
+		// every serve workload, journal each trajectory, and score the
+		// searched layout against the c3/ext-tsp seeds on the search's own
+		// objective. The search and the comparison rows run on a
+		// single-build harness, where the slo-search row reproduces the
+		// in-loop measurement of the winner bit for bit.
+		ws := filterWorkloads(workloads.Serve(), keep)
+		if len(ws) == 0 {
+			fmt.Printf("search: no selected workloads, skipped\n\n")
+			return nil
+		}
+		scfg2 := eval.DefaultSearchConfig()
+		scfg2.BudgetIters = *searchIters
+		scfg2.TopK = *searchTopK
+		scfg := cfg
+		scfg.Builds = 1
+		scfg.Iterations = 1
+		sh := eval.NewHarness(scfg)
+		strategies := []string{core.StrategyC3, core.StrategyExtTSP, core.StrategySLOSearch}
+		var csv strings.Builder
+		csv.WriteString("workload,iter,candidate,op,order_digest,predicted_refaults,predicted_locality,promoted,attained,targets,budget_burn,refault_geomean,accepted,reason\n")
+		attained := map[int]map[string][]float64{}
+		factors := map[int]map[string][]float64{}
+		for _, w := range ws {
+			res, err := sh.SearchLayout(w, scfg2)
+			if err != nil {
+				return err
+			}
+			rep := res.Journal
+			rows := make([]textviz.SearchRow, 0, len(rep.Iterations))
+			for _, it := range rep.Iterations {
+				for _, c := range it.Candidates {
+					rows = append(rows, textviz.SearchRow{
+						Iter: it.Iter, Candidate: c.ID, Op: c.Op,
+						PredictedRefaults: c.PredictedRefaults,
+						Promoted:          c.Promoted,
+						Attained:          c.Attained, Targets: c.Targets,
+						RefaultGeomean: c.RefaultGeomean,
+						Accepted:       c.Accepted, Reason: c.Reason,
+					})
+					fmt.Fprintf(&csv, "%s,%d,%s,%s,%s,%d,%.4f,%t,%d,%d,%.4f,%.4f,%t,%s\n",
+						w.Name, it.Iter, c.ID, c.Op, c.OrderDigest,
+						c.PredictedRefaults, c.PredictedLocality, c.Promoted,
+						c.Attained, c.Targets, c.BudgetBurn, c.RefaultGeomean,
+						c.Accepted, c.Reason)
+				}
+			}
+			fmt.Println(textviz.SearchTable(fmt.Sprintf(
+				"Layout search (%s, %d iterations, top-%d, pressures %v)",
+				w.Name, rep.BudgetIters, rep.TopK, rep.Pressures), rows))
+			jpath := filepath.Join(*out, fmt.Sprintf("search-%s.json", w.Name))
+			jf, err := os.Create(jpath)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteSearchReport(jf, rep); err != nil {
+				jf.Close()
+				return err
+			}
+			if err := jf.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (winner %s, attained %d/%d)\n\n",
+				jpath, rep.Final.Candidate, rep.Final.Attained, rep.Final.Targets)
+			// The comparison rows: every strategy scored on the search's own
+			// objective from its memoized build-0 serve measurements.
+			fmt.Printf("search objective per strategy (%s)\n", w.Name)
+			for _, s := range strategies {
+				sc, err := sh.MeasuredSearchScore(w, s, scfg2)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  %-12s attained %d/%d, refault-factor geomean %.3f, budget burn %.3f\n",
+					s, sc.Attained, sc.Targets, sc.RefaultGeomean, sc.BudgetBurn)
+				for _, ps := range sc.PerPressure {
+					if attained[ps.PressurePct] == nil {
+						attained[ps.PressurePct] = map[string][]float64{}
+						factors[ps.PressurePct] = map[string][]float64{}
+					}
+					if ps.Targets > 0 {
+						attained[ps.PressurePct][s] = append(attained[ps.PressurePct][s],
+							float64(ps.Attained)/float64(ps.Targets))
+					}
+					if ps.RefaultFactor > 0 {
+						factors[ps.PressurePct][s] = append(factors[ps.PressurePct][s], ps.RefaultFactor)
+					}
+				}
+			}
+			fmt.Println()
+		}
+		cpath := filepath.Join(*out, "search-iterations.csv")
+		if err := os.WriteFile(cpath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cpath)
+		// BENCH_search.json: per-pressure attained fraction (mean over
+		// workloads) and refault-factor geomean per strategy.
+		for p, byStrat := range attained {
+			geo := map[string]float64{}
+			for s, fs := range byStrat {
+				sum := 0.0
+				for _, f := range fs {
+					sum += f
+				}
+				geo[s] = sum / float64(len(fs))
+			}
+			baseline.Figures[fmt.Sprintf("search-attained-p%d", p)] = geo
+		}
+		for p, byStrat := range factors {
+			geo := map[string]float64{}
+			for s, fs := range byStrat {
+				geo[s] = geomean(fs)
+			}
+			baseline.Figures[fmt.Sprintf("search-refault-factor-p%d", p)] = geo
+		}
+		search := benchDoc{
+			Schema: benchSchema, Device: cfg.Device.Name,
+			Builds: 1, Iterations: 1,
+			Figures: map[string]map[string]float64{},
+		}
+		for key, geo := range baseline.Figures {
+			if strings.HasPrefix(key, "search-") {
+				search.Figures[key] = geo
+			}
+		}
+		data, err := json.MarshalIndent(search, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, "BENCH_search.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d figures)\n\n", path, len(search.Figures))
 		return nil
 	})
 	run("report", func() error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -225,6 +226,71 @@ func TestRunSloFiltered(t *testing.T) {
 	}
 }
 
+func TestRunSearchFiltered(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-figure", "search", "-workloads", "serve-api",
+		"-builds", "1", "-iters", "1",
+		"-search-iters", "1", "-search-topk", "1",
+		"-out", dir, "-bench", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "search-iterations.csv")); err != nil {
+		t.Errorf("iteration CSV missing: %v", err)
+	}
+	jdata, err := os.ReadFile(filepath.Join(dir, "search-serve-api.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journal struct {
+		Schema string `json:"schema"`
+		Final  struct {
+			Candidate string `json:"candidate"`
+			Attained  int    `json:"attained"`
+			Targets   int    `json:"targets"`
+		} `json:"final"`
+	}
+	if err := json.Unmarshal(jdata, &journal); err != nil {
+		t.Fatal(err)
+	}
+	if journal.Schema != "nimage.search/v1" || journal.Final.Candidate == "" {
+		t.Errorf("bad journal: schema=%q final=%+v", journal.Schema, journal.Final)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_search.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string                        `json:"schema"`
+		Figures map[string]map[string]float64 `json:"figures"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "nimage.bench/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	// The acceptance criterion of the figure: at both swept pressures the
+	// searched layout's attainment is >= the best seed's.
+	for _, p := range []int{30, 70} {
+		att := doc.Figures[fmt.Sprintf("search-attained-p%d", p)]
+		if att == nil {
+			t.Fatalf("no search-attained-p%d figure: %v", p, doc.Figures)
+		}
+		for _, s := range []string{"c3", "ext-tsp"} {
+			if att["slo-search"] < att[s] {
+				t.Errorf("p%d: slo-search attains %.3f, below %s's %.3f",
+					p, att["slo-search"], s, att[s])
+			}
+		}
+		if doc.Figures[fmt.Sprintf("search-refault-factor-p%d", p)] == nil {
+			t.Errorf("no search-refault-factor-p%d figure", p)
+		}
+	}
+}
+
 // TestRunRejectsUnknownWorkload: filter names must resolve.
 func TestRunRejectsUnknownWorkload(t *testing.T) {
 	if err := run([]string{"-figure", "2", "-workloads", "NoSuch", "-out", t.TempDir(), "-bench", ""}); err == nil {
@@ -246,6 +312,10 @@ func TestRunRejectsBadSizing(t *testing.T) {
 		"streams-negative": {"-streams", "-2"},
 		"slo-bursts-neg":   {"-slo-bursts", "-1"},
 		"slo-bad-target":   {"-slo", "p0=1ms"},
+		"search-iters-0":   {"-search-iters", "0"},
+		"search-iters-big": {"-search-iters", "99999"},
+		"search-topk-0":    {"-search-topk", "0"},
+		"search-topk-big":  {"-search-topk", "99999"},
 	}
 	for name, extra := range cases {
 		args := append([]string{"-figure", "2", "-workloads", "Bounce", "-out", t.TempDir(), "-bench", ""}, extra...)

@@ -47,6 +47,7 @@ var registry = []StrategyInfo{
 	{Name: StrategyPettisHansen, Instr: []graal.Instrumentation{graal.InstrCU}, Text: true},
 	{Name: StrategyC3, Graph: true, Text: true, Eval: true, Serve: true},
 	{Name: StrategyExtTSP, Graph: true, Text: true, Eval: true, Serve: true},
+	{Name: StrategySLOSearch, Graph: true, Text: true, Eval: true, Serve: true},
 }
 
 // Registry returns every registered strategy, in figure order.

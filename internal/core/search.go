@@ -1,0 +1,288 @@
+package core
+
+// SLO-search candidate plumbing: the generation and cheap static scoring
+// of candidate text orderings for the layout search (internal/eval/
+// search.go drives the measured outer loop; SLOSearchOrder below is the
+// standalone graph-scored inner search the bake pipeline runs when no
+// measured winner is injected). Candidates come from two families — the
+// c3/ext-tsp parameter sweeps and seeded local perturbations of an
+// incumbent order — and every function here is a pure deterministic
+// function of its arguments, so the search trajectory is bit-identical
+// across worker counts, runs and platforms.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"nimage/internal/murmur"
+	"nimage/internal/obs/affinity"
+)
+
+// StrategySLOSearch lays text out by an SLO-driven layout search: an
+// iterative rebake loop over c3/ext-tsp parameter sweeps and seeded
+// perturbations, scored by the serve attainment scorecard (measured
+// path) or the affinity refault replay (standalone path).
+const StrategySLOSearch = "slo-search"
+
+// SearchCandidate is one candidate text ordering of the layout search.
+type SearchCandidate struct {
+	// ID names the candidate deterministically from its generation op and
+	// parameters (e.g. "c3/limit=8192", "perturb/i2/k1/move").
+	ID string
+	// Op is the generation family: "seed", "c3-sweep", "ext-tsp-sweep",
+	// or "perturb".
+	Op string
+	// Order is the proposed CU-signature ordering.
+	Order []string
+}
+
+// searchC3Limits and searchTSPHorizons are the swept parameter grids.
+// The defaults (c3MergeLimit, extTSPHorizon) are deliberately included:
+// their candidates tie the seed layouts bit-for-bit and are deduplicated
+// by digest, which the determinism tests rely on.
+var (
+	searchC3Limits    = []int64{4096, c3MergeLimit, 4 * 4096, 0}
+	searchTSPHorizons = []float64{2048, extTSPHorizon, 2 * 4096, 4 * 4096}
+)
+
+// SearchSeeds returns the two seed candidates of the search: the plain
+// c3 and ext-tsp orderings of the graph — the incumbents every accepted
+// candidate must strictly beat.
+func SearchSeeds(g *affinity.Graph) []SearchCandidate {
+	return []SearchCandidate{
+		{ID: StrategyC3, Op: "seed", Order: C3Order(g)},
+		{ID: StrategyExtTSP, Op: "seed", Order: ExtTSPOrder(g)},
+	}
+}
+
+// SearchSweeps returns the c3/ext-tsp parameter-sweep candidates: the
+// chain-budget grid for c3 and the decay-horizon grid for ext-tsp.
+func SearchSweeps(g *affinity.Graph) []SearchCandidate {
+	var out []SearchCandidate
+	for _, limit := range searchC3Limits {
+		out = append(out, SearchCandidate{
+			ID:    fmt.Sprintf("c3/limit=%d", limit),
+			Op:    "c3-sweep",
+			Order: C3OrderLimit(g, limit),
+		})
+	}
+	for _, hz := range searchTSPHorizons {
+		out = append(out, SearchCandidate{
+			ID:    fmt.Sprintf("ext-tsp/horizon=%d", int64(hz)),
+			Op:    "ext-tsp-sweep",
+			Order: ExtTSPOrderHorizon(g, hz),
+		})
+	}
+	return out
+}
+
+// searchRand derives a deterministic pseudo-random value from the search
+// seed and a draw position.
+func searchRand(seed uint64, vals ...uint64) uint64 {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	return murmur.Sum64Seed(buf, seed)
+}
+
+// SearchPerturbations returns n seeded local perturbations of the
+// incumbent order for one search iteration: block swaps, block moves and
+// window reversals — the classic local-search neighbourhood over a chain
+// order. Every result is a permutation of the incumbent (asserted by the
+// metamorphic tests); orders shorter than two symbols have no
+// neighbourhood and yield nothing.
+func SearchPerturbations(incumbent []string, iter int, seed uint64, n int) []SearchCandidate {
+	if len(incumbent) < 2 || n <= 0 {
+		return nil
+	}
+	ops := []string{"swap", "move", "reverse"}
+	out := make([]SearchCandidate, 0, n)
+	for k := 0; k < n; k++ {
+		op := ops[k%len(ops)]
+		order := append([]string(nil), incumbent...)
+		sz := uint64(len(order))
+		// Block length between 1 and a quarter of the order (at least 1),
+		// start positions anywhere; every draw folds (iter, k, draw#) into
+		// the seed, so each iteration explores a fresh neighbourhood.
+		maxBlock := sz / 4
+		if maxBlock < 1 {
+			maxBlock = 1
+		}
+		blk := 1 + searchRand(seed, uint64(iter), uint64(k), 0)%maxBlock
+		a := searchRand(seed, uint64(iter), uint64(k), 1) % (sz - blk + 1)
+		b := searchRand(seed, uint64(iter), uint64(k), 2) % (sz - blk + 1)
+		switch op {
+		case "swap":
+			// Swap two equal-length non-overlapping blocks; colliding draws
+			// degrade to a no-op that the digest dedupe discards.
+			if a > b {
+				a, b = b, a
+			}
+			if a+blk <= b {
+				tmp := append([]string(nil), order[a:a+blk]...)
+				copy(order[a:a+blk], order[b:b+blk])
+				copy(order[b:b+blk], tmp)
+			}
+		case "move":
+			// Move the block at a to position b (positions in the reduced
+			// order after excision).
+			blkSyms := append([]string(nil), order[a:a+blk]...)
+			rest := append(append([]string(nil), order[:a]...), order[a+blk:]...)
+			if b > uint64(len(rest)) {
+				b = uint64(len(rest))
+			}
+			order = append(append(append([]string(nil), rest[:b]...), blkSyms...), rest[b:]...)
+		case "reverse":
+			for i, j := a, a+blk-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		out = append(out, SearchCandidate{
+			ID:    fmt.Sprintf("perturb/i%d/k%d/%s", iter, k, op),
+			Op:    "perturb",
+			Order: order,
+		})
+	}
+	return out
+}
+
+// OrderDigest hashes an ordering for deduplication and journaling: a
+// murmur chain over the symbol names, position-sensitive.
+func OrderDigest(order []string) uint64 {
+	h := murmur.Sum64Seed([]byte("nimage.search"), 0)
+	for _, s := range order {
+		h = murmur.Sum64Seed([]byte(s), h)
+	}
+	return h
+}
+
+// PredictOrder statically scores a candidate ordering against the
+// recorded graph: the summed predicted refaults of the affinity replay
+// at each swept pressure (under the serve cache budget), plus the mean
+// locality score as the tie-break signal. This is the search's cheap
+// inner objective — every candidate is predicted, only the top-k are
+// measured.
+func PredictOrder(g *affinity.Graph, order []string, pressures []int, cacheBudget int) (refaults int64, locality float64, err error) {
+	layout := affinity.OrderPlacement(g, order)
+	for _, p := range pressures {
+		sc, err := affinity.Score(g, layout, StrategySLOSearch, p, cacheBudget)
+		if err != nil {
+			return 0, 0, err
+		}
+		refaults += sc.PredictedRefaults
+		locality += sc.LocalityScore
+	}
+	if len(pressures) > 0 {
+		locality /= float64(len(pressures))
+	}
+	return refaults, locality, nil
+}
+
+// SearchParams tunes the standalone graph-scored search.
+type SearchParams struct {
+	// Iters is the number of perturbation rounds after the seed+sweep
+	// round; PerturbPerIter the perturbations generated per round.
+	Iters          int
+	PerturbPerIter int
+	// Seed drives the perturbation draws.
+	Seed uint64
+	// Pressures are the replay pressure levels of the static objective;
+	// CacheBudget its resident-page cap (0 = unbounded).
+	Pressures   []int
+	CacheBudget int
+}
+
+// DefaultSearchParams returns the standalone search defaults: two
+// perturbation rounds of six candidates over the serve figure's pressure
+// bracket.
+func DefaultSearchParams() SearchParams {
+	return SearchParams{
+		Iters:          2,
+		PerturbPerIter: 6,
+		Seed:           0x5ea2c4,
+		Pressures:      []int{30, 70},
+	}
+}
+
+// SLOSearchOrder is the standalone slo-search layout: a purely
+// graph-scored candidate search (no serve measurement), used wherever
+// the strategy bakes outside the eval harness — the differential
+// verifier, `nimage build/run`, and the cold-start figures. Seeds and
+// parameter sweeps are scored first; the predicted-best order is then
+// locally perturbed for a few rounds. Candidates are ranked by predicted
+// refaults ascending, locality descending, candidate ID ascending — a
+// total order, so the result is deterministic.
+func SLOSearchOrder(g *affinity.Graph) []string {
+	order, _ := SLOSearchOrderParams(g, DefaultSearchParams())
+	return order
+}
+
+// searchPrediction is one statically scored candidate.
+type searchPrediction struct {
+	cand     SearchCandidate
+	refaults int64
+	locality float64
+}
+
+// betterPrediction is the static ranking: fewer predicted refaults, then
+// higher locality, then lexicographic candidate ID.
+func betterPrediction(a, b searchPrediction) bool {
+	if a.refaults != b.refaults {
+		return a.refaults < b.refaults
+	}
+	if a.locality != b.locality {
+		return a.locality > b.locality
+	}
+	return a.cand.ID < b.cand.ID
+}
+
+// SLOSearchOrderParams is SLOSearchOrder with explicit parameters,
+// returning the winning candidate's ID alongside its order.
+func SLOSearchOrderParams(g *affinity.Graph, params SearchParams) ([]string, string) {
+	seen := make(map[uint64]bool)
+	var best searchPrediction
+	haveBest := false
+	consider := func(cands []SearchCandidate) {
+		for _, c := range cands {
+			if len(c.Order) == 0 {
+				continue
+			}
+			d := OrderDigest(c.Order)
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			ref, loc, err := PredictOrder(g, c.Order, params.Pressures, params.CacheBudget)
+			if err != nil {
+				continue // invalid params; candidates are never individually invalid
+			}
+			p := searchPrediction{cand: c, refaults: ref, locality: loc}
+			if !haveBest || betterPrediction(p, best) {
+				best, haveBest = p, true
+			}
+		}
+	}
+	consider(SearchSeeds(g))
+	consider(SearchSweeps(g))
+	for it := 1; it <= params.Iters && haveBest; it++ {
+		consider(SearchPerturbations(best.cand.Order, it, params.Seed, params.PerturbPerIter))
+	}
+	if !haveBest {
+		return nil, ""
+	}
+	return best.cand.Order, best.cand.ID
+}
+
+// SearchCandidateIDs renders the deterministic ID universe of one
+// iteration's generation (sweeps plus perturbations), sorted — journal
+// consumers use it to sanity-check coverage.
+func SearchCandidateIDs(cands []SearchCandidate) []string {
+	ids := make([]string, 0, len(cands))
+	for _, c := range cands {
+		ids = append(ids, c.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,188 @@
+package core
+
+// Tests for the search-candidate plumbing: perturbations are always
+// permutations, generation and the standalone graph-scored search are
+// deterministic, the sweep grids cover the default parameters, and the
+// order digest distinguishes position.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"nimage/internal/obs/affinity"
+)
+
+// searchTestGraph is a graph rich enough that the orderers produce
+// several chains and the perturbation neighbourhood is non-trivial.
+func searchTestGraph() *affinity.Graph {
+	nodes := []affinity.Node{
+		cuNode("A", 256, 100),
+		cuNode("B", 192, 90),
+		cuNode("C", 320, 60),
+		cuNode("D", 128, 55),
+		cuNode("E", 512, 20),
+		cuNode("F", 64, 15),
+		cuNode("G", 4096, 5),
+	}
+	for i := range nodes {
+		nodes[i].FirstClock = int64(i + 1)
+	}
+	return testGraph(nodes, []affinity.Edge{
+		{A: 0, B: 1, Weight: 50},
+		{A: 2, B: 3, Weight: 40},
+		{A: 4, B: 5, Weight: 9},
+		{A: 1, B: 2, Weight: 6},
+	})
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+// TestSearchPerturbationsArePermutations: every generated perturbation
+// holds exactly the incumbent's symbols (as a multiset), for a spread of
+// order sizes, iterations and seeds — the property the metamorphic image
+// tests lean on.
+func TestSearchPerturbationsArePermutations(t *testing.T) {
+	for _, size := range []int{2, 3, 5, 9, 17, 64} {
+		incumbent := make([]string, size)
+		for i := range incumbent {
+			incumbent[i] = fmt.Sprintf("sym%03d", i)
+		}
+		want := sortedCopy(incumbent)
+		for _, seed := range []uint64{1, 0x5ea2c4, ^uint64(0)} {
+			for iter := 1; iter <= 3; iter++ {
+				for _, c := range SearchPerturbations(incumbent, iter, seed, 9) {
+					if got := sortedCopy(c.Order); !reflect.DeepEqual(got, want) {
+						t.Fatalf("size %d seed %#x iter %d candidate %s: not a permutation\n got %v\nwant %v",
+							size, seed, iter, c.ID, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchPerturbationsDeterministic: the same (incumbent, iter, seed)
+// yields bit-identical candidates, and different iterations explore
+// different neighbourhoods.
+func TestSearchPerturbationsDeterministic(t *testing.T) {
+	incumbent := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	a := SearchPerturbations(incumbent, 1, 42, 6)
+	b := SearchPerturbations(incumbent, 1, 42, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs produced different candidates:\n%v\n%v", a, b)
+	}
+	if len(a) != 6 {
+		t.Fatalf("got %d candidates, want 6", len(a))
+	}
+	// The incumbent must be left untouched by generation.
+	if !reflect.DeepEqual(incumbent, []string{"a", "b", "c", "d", "e", "f", "g", "h"}) {
+		t.Fatalf("incumbent mutated: %v", incumbent)
+	}
+}
+
+// TestSearchPerturbationsEmptyNeighbourhood: orders too short to perturb
+// and non-positive budgets yield nothing.
+func TestSearchPerturbationsEmptyNeighbourhood(t *testing.T) {
+	if got := SearchPerturbations([]string{"only"}, 1, 1, 4); got != nil {
+		t.Errorf("singleton order produced %v", got)
+	}
+	if got := SearchPerturbations([]string{"a", "b"}, 1, 1, 0); got != nil {
+		t.Errorf("zero budget produced %v", got)
+	}
+}
+
+// TestSearchSeedsAndSweeps: the seed candidates are the plain c3/ext-tsp
+// orders, and the sweep grids include the default parameters (whose
+// candidates tie the seeds and dedupe away by digest).
+func TestSearchSeedsAndSweeps(t *testing.T) {
+	g := searchTestGraph()
+	seeds := SearchSeeds(g)
+	if len(seeds) != 2 {
+		t.Fatalf("got %d seeds, want 2", len(seeds))
+	}
+	if !reflect.DeepEqual(seeds[0].Order, C3Order(g)) || seeds[0].ID != StrategyC3 {
+		t.Errorf("seed 0 = %+v, want plain c3", seeds[0])
+	}
+	if !reflect.DeepEqual(seeds[1].Order, ExtTSPOrder(g)) || seeds[1].ID != StrategyExtTSP {
+		t.Errorf("seed 1 = %+v, want plain ext-tsp", seeds[1])
+	}
+	sweeps := SearchSweeps(g)
+	foundC3Default, foundTSPDefault := false, false
+	for _, c := range sweeps {
+		switch c.ID {
+		case fmt.Sprintf("c3/limit=%d", c3MergeLimit):
+			foundC3Default = OrderDigest(c.Order) == OrderDigest(seeds[0].Order)
+		case fmt.Sprintf("ext-tsp/horizon=%d", int64(extTSPHorizon)):
+			foundTSPDefault = OrderDigest(c.Order) == OrderDigest(seeds[1].Order)
+		}
+	}
+	if !foundC3Default || !foundTSPDefault {
+		t.Errorf("sweep grids must include the default parameters and reproduce the seeds (c3 %v, ext-tsp %v)",
+			foundC3Default, foundTSPDefault)
+	}
+}
+
+// TestOrderDigestPositionSensitive: the digest separates permutations of
+// the same multiset and is stable for equal orders.
+func TestOrderDigestPositionSensitive(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	b := []string{"y", "x", "z"}
+	if OrderDigest(a) == OrderDigest(b) {
+		t.Errorf("digest collides across permutations")
+	}
+	if OrderDigest(a) != OrderDigest([]string{"x", "y", "z"}) {
+		t.Errorf("digest unstable for equal orders")
+	}
+}
+
+// TestSLOSearchOrderDeterministicPermutation: the standalone search is a
+// pure function of the graph, and its result is a permutation of the c3
+// seed (same text symbols, possibly different order).
+func TestSLOSearchOrderDeterministicPermutation(t *testing.T) {
+	g := searchTestGraph()
+	a := SLOSearchOrder(g)
+	b := SLOSearchOrder(g)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("standalone search not deterministic:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("standalone search produced no order")
+	}
+	if got, want := sortedCopy(a), sortedCopy(C3Order(g)); !reflect.DeepEqual(got, want) {
+		t.Errorf("standalone search order is not a permutation of the text symbols\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSLOSearchOrderPredictedNoWorseThanSeeds: by construction the
+// standalone winner's static score is at least as good as both seeds'
+// under the ranking (refaults asc, locality desc, ID asc).
+func TestSLOSearchOrderPredictedNoWorseThanSeeds(t *testing.T) {
+	g := searchTestGraph()
+	params := DefaultSearchParams()
+	order, winner := SLOSearchOrderParams(g, params)
+	if winner == "" {
+		t.Fatal("no winner")
+	}
+	wRef, wLoc, err := PredictOrder(g, order, params.Pressures, params.CacheBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range SearchSeeds(g) {
+		ref, loc, err := PredictOrder(g, s.Order, params.Pressures, params.CacheBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wRef > ref {
+			t.Errorf("winner %q predicts %d refaults, worse than seed %q's %d", winner, wRef, s.ID, ref)
+		}
+		if wRef == ref && wLoc < loc {
+			t.Errorf("winner %q ties seed %q on refaults but loses locality (%v < %v)", winner, s.ID, wLoc, loc)
+		}
+	}
+}

@@ -122,6 +122,7 @@ type Harness struct {
 	serveCache  map[string][]*ServeOutcome
 	serveImgs   map[string]*image.Image
 	serveGraphs map[string]*affinity.Graph
+	searchCache map[string]*SearchResult
 
 	sched sched
 }
@@ -136,6 +137,7 @@ func NewHarness(cfg Config) *Harness {
 		serveCache:  make(map[string][]*ServeOutcome),
 		serveImgs:   make(map[string]*image.Image),
 		serveGraphs: make(map[string]*affinity.Graph),
+		searchCache: make(map[string]*SearchResult),
 	}
 }
 

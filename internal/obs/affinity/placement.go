@@ -1,0 +1,59 @@
+package affinity
+
+// Candidate-order placements: resolve a proposed symbol ordering into a
+// synthetic Placement without baking an image. The layout search scores
+// hundreds of candidate orderings per accepted rebake; laying the graph's
+// own nodes out at CU-style sequential 16-aligned offsets mirrors what
+// the bake path (core.OrderCUs + the .text layouter) would produce
+// closely enough for ranking, at none of the build cost.
+
+import "nimage/internal/obs/attrib"
+
+// cuAlign mirrors the image layouter's 16-byte CU alignment, so page
+// boundaries of the synthetic placement fall where the baked image's
+// would.
+const cuAlign = 16
+
+// OrderPlacement lays the named graph nodes out sequentially in the
+// given order — each at the next 16-aligned offset, sized by the node's
+// recorded length — and appends any graph text nodes the order omits in
+// graph-node order (the bake path likewise appends unprofiled CUs after
+// the profiled prefix). Names the graph does not know are skipped. The
+// result scores with Score exactly like a placement read from a baked
+// image's attribution index.
+func OrderPlacement(g *Graph, order []string) *Placement {
+	syms := make([]attrib.Symbol, 0, len(g.Nodes))
+	var off int64
+	place := func(name string, size int64) {
+		if size <= 0 {
+			return
+		}
+		if rem := off % cuAlign; rem != 0 {
+			off += cuAlign - rem
+		}
+		syms = append(syms, attrib.Symbol{Name: name, Off: off, Len: size})
+		off += size
+	}
+	sizeOf := make(map[string]int64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == attrib.KindCU {
+			sizeOf[n.Name] = n.Len
+		}
+	}
+	placed := make(map[string]bool, len(order))
+	for _, name := range order {
+		size, ok := sizeOf[name]
+		if !ok || placed[name] {
+			continue
+		}
+		placed[name] = true
+		place(name, size)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == attrib.KindCU && !placed[n.Name] {
+			placed[n.Name] = true
+			place(n.Name, n.Len)
+		}
+	}
+	return NewPlacement(syms)
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleSearchReport() *SearchReport {
+	return &SearchReport{
+		Schema:      SearchSchema,
+		Workload:    "serve-api",
+		Strategy:    "slo-search",
+		Seed:        0x5ea2c4,
+		BudgetIters: 2,
+		TopK:        2,
+		Pressures:   []int{30, 70},
+		Targets:     DefaultSLOTargets(),
+		Iterations: []SearchIteration{
+			{
+				Iter:      0,
+				Incumbent: "c3",
+				Candidates: []SearchCandidateRecord{
+					{
+						ID: "c3", Op: "seed", OrderDigest: "ab54c1d2e3f40596",
+						PredictedRefaults: 120, PredictedLocality: 0.81,
+						Promoted: true, Attained: 7, Targets: 8,
+						BudgetBurn: 0.4, RefaultGeomean: 1.7,
+						Accepted: true, Reason: "best seed scorecard",
+					},
+					{
+						ID: "ext-tsp", Op: "seed", OrderDigest: "1f2e3d4c5b6a7988",
+						PredictedRefaults: 140, PredictedLocality: 0.78,
+						Promoted: true, Attained: 7, Targets: 8,
+						BudgetBurn: 0.5, RefaultGeomean: 1.6,
+						Reason: "weaker seed scorecard",
+					},
+				},
+			},
+			{
+				Iter:      1,
+				Incumbent: "perturb/i1/k0/swap",
+				Candidates: []SearchCandidateRecord{
+					{
+						ID: "perturb/i1/k0/swap", Op: "perturb", OrderDigest: "9e8d7c6b5a493827",
+						PredictedRefaults: 110, PredictedLocality: 0.83,
+						Promoted: true, Attained: 8, Targets: 8,
+						BudgetBurn: 0.3, RefaultGeomean: 1.8,
+						Accepted: true, Reason: "strictly improves scorecard",
+					},
+					{
+						ID: "c3/limit=4096", Op: "c3-sweep", OrderDigest: "abc123",
+						PredictedRefaults: 200, PredictedLocality: 0.70,
+						Reason: "below promotion cut",
+					},
+				},
+			},
+		},
+		Final: SearchFinal{
+			Candidate: "perturb/i1/k0/swap", Symbols: 42,
+			OrderDigest: "9e8d7c6b5a493827",
+			Attained:    8, Targets: 8, BudgetBurn: 0.3, RefaultGeomean: 1.8,
+		},
+	}
+}
+
+func TestSearchReportCodecRoundTrip(t *testing.T) {
+	rep := sampleSearchReport()
+	var buf bytes.Buffer
+	if err := WriteSearchReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSearchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip changed the journal:\n%s\n%s", a, b)
+	}
+}
+
+func TestReadSearchReportRejectsHostile(t *testing.T) {
+	valid := `"workload":"w","strategy":"s","pressures":[30],"targets":[{"quantile":0.5,"budget_nanos":1}]`
+	finalOK := `"final":{"candidate":"c3","symbols":1,"order_digest":"ab","attained":0,"targets":0}`
+	for name, doc := range map[string]string{
+		"bad schema":        `{"schema":"nope"}`,
+		"empty workload":    `{"schema":"nimage.search/v1","strategy":"s","pressures":[30],"targets":[{"quantile":0.5,"budget_nanos":1}],` + finalOK + `}`,
+		"no pressures":      `{"schema":"nimage.search/v1","workload":"w","strategy":"s","targets":[{"quantile":0.5,"budget_nanos":1}],` + finalOK + `}`,
+		"bad pressure":      `{"schema":"nimage.search/v1",` + valid + `,"pressures":[130],` + finalOK + `}`,
+		"no targets":        `{"schema":"nimage.search/v1","workload":"w","strategy":"s","pressures":[30],` + finalOK + `}`,
+		"negative budget":   `{"schema":"nimage.search/v1",` + valid + `,"budget_iters":-1,` + finalOK + `}`,
+		"huge top-k":        `{"schema":"nimage.search/v1",` + valid + `,"top_k":99999999,` + finalOK + `}`,
+		"empty incumbent":   `{"schema":"nimage.search/v1",` + valid + `,"iterations":[{"iter":0,"incumbent":""}],` + finalOK + `}`,
+		"empty cand id":     `{"schema":"nimage.search/v1",` + valid + `,"iterations":[{"iter":0,"incumbent":"c3","candidates":[{"id":"","op":"seed","order_digest":"ab","reason":"r"}]}],` + finalOK + `}`,
+		"bad digest":        `{"schema":"nimage.search/v1",` + valid + `,"iterations":[{"iter":0,"incumbent":"c3","candidates":[{"id":"x","op":"seed","order_digest":"XYZ","reason":"r"}]}],` + finalOK + `}`,
+		"empty reason":      `{"schema":"nimage.search/v1",` + valid + `,"iterations":[{"iter":0,"incumbent":"c3","candidates":[{"id":"x","op":"seed","order_digest":"ab","reason":""}]}],` + finalOK + `}`,
+		"neg refaults":      `{"schema":"nimage.search/v1",` + valid + `,"iterations":[{"iter":0,"incumbent":"c3","candidates":[{"id":"x","op":"seed","order_digest":"ab","predicted_refaults":-1,"reason":"r"}]}],` + finalOK + `}`,
+		"accept unmeasured": `{"schema":"nimage.search/v1",` + valid + `,"iterations":[{"iter":0,"incumbent":"c3","candidates":[{"id":"x","op":"seed","order_digest":"ab","accepted":true,"reason":"r"}]}],` + finalOK + `}`,
+		"attained oob":      `{"schema":"nimage.search/v1",` + valid + `,"iterations":[{"iter":0,"incumbent":"c3","candidates":[{"id":"x","op":"seed","order_digest":"ab","promoted":true,"attained":9,"targets":8,"reason":"r"}]}],` + finalOK + `}`,
+		"no final":          `{"schema":"nimage.search/v1",` + valid + `}`,
+		"neg symbols":       `{"schema":"nimage.search/v1",` + valid + `,"final":{"candidate":"c3","symbols":-1,"order_digest":"ab"}}`,
+		"final bad digest":  `{"schema":"nimage.search/v1",` + valid + `,"final":{"candidate":"c3","symbols":1,"order_digest":"nope"}}`,
+		"nan burn":          `{"schema":"nimage.search/v1",` + valid + `,"final":{"candidate":"c3","symbols":1,"order_digest":"ab","budget_burn":-2}}`,
+		"not json":          `]`,
+	} {
+		if _, err := ReadSearchReport(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzSearchCodec: any input must either be rejected or decode to a
+// journal that re-encodes and re-decodes to the same value (accepted
+// inputs are a round-trip fixed point), and no input may panic the
+// decoder.
+func FuzzSearchCodec(f *testing.F) {
+	var rep bytes.Buffer
+	if err := WriteSearchReport(&rep, sampleSearchReport()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rep.Bytes())
+	f.Add([]byte(`{"schema":"nimage.search/v1","workload":"w","strategy":"s","pressures":[30],"targets":[{"quantile":0.5,"budget_nanos":1}],"final":{"candidate":"c3","symbols":0,"order_digest":"0"}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := ReadSearchReport(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSearchReport(&buf, rep); err != nil {
+			t.Fatalf("accepted journal failed to encode: %v", err)
+		}
+		again, err := ReadSearchReport(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded journal rejected: %v", err)
+		}
+		a, _ := json.Marshal(rep)
+		b, _ := json.Marshal(again)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("journal round trip not a fixed point:\n%s\n%s", a, b)
+		}
+	})
+}

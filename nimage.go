@@ -169,6 +169,7 @@ const (
 	StrategyCombined    = core.StrategyCombined
 	StrategyC3          = core.StrategyC3
 	StrategyExtTSP      = core.StrategyExtTSP
+	StrategySLOSearch   = core.StrategySLOSearch
 )
 
 // Strategies lists all evaluated strategies in figure order (the
@@ -588,6 +589,67 @@ func SLOOverheadRows(rep *SLOReport) []SLOOverheadRowText {
 			OverheadFrac:       o.OverheadFrac,
 			SimIdentical:       o.SimIdentical,
 		})
+	}
+	return rows
+}
+
+// SLO-driven layout search (Harness.SearchLayout / `nimage tune`): a
+// budget-bounded rebake loop that measures the c3 and ext-tsp seed
+// layouts with the serve scorecard, generates parameter sweeps and
+// seeded perturbations of the incumbent, promotes the statically
+// best-predicted candidates to full measurement, and accepts only on a
+// strict scorecard improvement. The slo-search strategy bakes the
+// searched winner.
+
+// SearchConfig tunes the search (budget, promotion width, seed,
+// pressures, targets, serve scenario).
+type SearchConfig = eval.SearchConfig
+
+// DefaultSearchConfig returns the search defaults.
+func DefaultSearchConfig() SearchConfig { return eval.DefaultSearchConfig() }
+
+// SearchScore is one candidate's measured scorecard: SLO attainment,
+// budget burn, and the refault-factor geomean over the swept pressures.
+type SearchScore = eval.SearchScore
+
+// SearchPressureScore is one pressure level's slice of a SearchScore.
+type SearchPressureScore = eval.SearchPressureScore
+
+// SearchResult is the outcome of one search: the winning order, its
+// score, the full journal, and every measured candidate order.
+type SearchResult = eval.SearchResult
+
+// SearchReport is the per-iteration search journal (nimage.search/v1).
+type SearchReport = obs.SearchReport
+
+// WriteSearchReport / ReadSearchReport are the nimage.search/v1 codec.
+var (
+	WriteSearchReport = obs.WriteSearchReport
+	ReadSearchReport  = obs.ReadSearchReport
+)
+
+// SearchRowText is one candidate row of the rendered search table.
+type SearchRowText = textviz.SearchRow
+
+// SearchTableText renders a search trajectory as a text table.
+func SearchTableText(title string, rows []SearchRowText) string {
+	return textviz.SearchTable(title, rows)
+}
+
+// SearchRows flattens a search journal into renderable table rows.
+func SearchRows(rep *SearchReport) []SearchRowText {
+	var rows []SearchRowText
+	for _, it := range rep.Iterations {
+		for _, c := range it.Candidates {
+			rows = append(rows, SearchRowText{
+				Iter: it.Iter, Candidate: c.ID, Op: c.Op,
+				PredictedRefaults: c.PredictedRefaults,
+				Promoted:          c.Promoted,
+				Attained:          c.Attained, Targets: c.Targets,
+				RefaultGeomean: c.RefaultGeomean,
+				Accepted:       c.Accepted, Reason: c.Reason,
+			})
+		}
 	}
 	return rows
 }

@@ -94,15 +94,16 @@ func TestFacadeDSL(t *testing.T) {
 }
 
 func TestFacadeStrategiesAndWorkloads(t *testing.T) {
-	// The paper's six strategies plus the graph-based serve layouts.
-	if len(nimage.Strategies()) != 8 {
+	// The paper's six strategies, the graph-based serve layouts, and the
+	// searched layout.
+	if len(nimage.Strategies()) != 9 {
 		t.Errorf("strategies = %v", nimage.Strategies())
 	}
 	found := map[string]bool{}
 	for _, s := range nimage.Strategies() {
 		found[s] = true
 	}
-	if !found[nimage.StrategyC3] || !found[nimage.StrategyExtTSP] {
+	if !found[nimage.StrategyC3] || !found[nimage.StrategyExtTSP] || !found[nimage.StrategySLOSearch] {
 		t.Errorf("graph strategies missing from %v", nimage.Strategies())
 	}
 	if len(nimage.HeapStrategies()) != 3 {
