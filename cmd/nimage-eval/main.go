@@ -21,12 +21,19 @@
 // ext-tsp seeds on the search's own objective (output/BENCH_search.json,
 // per-workload nimage.search/v1 journals, plus search-iterations.csv).
 //
+// The "fleet" experiment is the multi-tenant observatory: mixed-strategy
+// tenant fleets share ONE page cache at each tenant count, and the
+// per-strategy SLO attainment, isolation-factor geomeans, and fairness
+// spreads land in output/BENCH_fleet.json with the who-evicted-whom
+// matrices in output/fleet-interference.csv.
+//
 // Usage:
 //
-//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|serve|slo|search|report] [-workloads Bounce,micronaut]
+//	nimage-eval [-figure all|2|3|4|5|overhead|accessed|6|serve|slo|search|fleet|report] [-workloads Bounce,micronaut]
 //	            [-builds N] [-iters N] [-device ssd|nfs] [-out output]
 //	            [-streams N] [-slo "p50=100us,p99=2ms"] [-slo-bursts N]
 //	            [-search-iters N] [-search-topk N]
+//	            [-tenants 2,4,8] [-budget PAGES] [-quota PCT] [-bursts N]
 package main
 
 import (
@@ -109,6 +116,31 @@ func filterWorkloads(ws []workloads.Workload, keep map[string]bool) []workloads.
 	return out
 }
 
+// parseFleetTenants resolves the -tenants list of the fleet experiment.
+// Each term is a tenant count; a fleet of one is a serve run, so counts
+// below 2 are rejected rather than clamped.
+func parseFleetTenants(list string) ([]int, error) {
+	var out []int
+	for _, t := range strings.Split(list, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(t, "%d", &n); err != nil || fmt.Sprint(n) != t {
+			return nil, fmt.Errorf("-tenants terms must be integers, got %q", t)
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("-tenants terms must be >= 2 (a fleet of one is a serve run), got %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-tenants must name at least one tenant count")
+	}
+	return out, nil
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "nimage-eval:", err)
@@ -118,7 +150,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("nimage-eval", flag.ContinueOnError)
-	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|serve|slo|search|report")
+	figure := fs.String("figure", "all", "which experiment: all|2|3|4|5|overhead|accessed|6|serve|slo|search|fleet|report")
 	builds := fs.Int("builds", 3, "images per strategy (paper: 10)")
 	iters := fs.Int("iters", 3, "cold runs per image (paper: 10)")
 	device := fs.String("device", "ssd", "storage device: ssd|nfs")
@@ -132,6 +164,10 @@ func run(args []string) error {
 	sloBursts := fs.Int("slo-bursts", 0, "request bursts of the slo experiment (0 = serve default)")
 	searchIters := fs.Int("search-iters", 2, "search iterations of the search experiment")
 	searchTopK := fs.Int("search-topk", 2, "candidates promoted per iteration in the search experiment")
+	fleetTenants := fs.String("tenants", "2,4,8", "comma-separated tenant counts of the fleet experiment (each >= 2)")
+	fleetBudget := fs.Int("budget", 192, "shared resident-page budget of the fleet experiment")
+	fleetQuota := fs.Int("quota", 0, "per-tenant residency quota of the fleet experiment, percent of the budget (0 = none)")
+	fleetBursts := fs.Int("bursts", 4, "request bursts per tenant in the fleet experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,6 +194,19 @@ func run(args []string) error {
 	}
 	if *searchTopK < 1 || *searchTopK > 1024 {
 		return fmt.Errorf("-search-topk must be between 1 and 1024, got %d", *searchTopK)
+	}
+	fleetCounts, err := parseFleetTenants(*fleetTenants)
+	if err != nil {
+		return err
+	}
+	if *fleetQuota < 0 || *fleetQuota > 100 {
+		return fmt.Errorf("-quota must be between 0 and 100 (percent of the shared budget), got %d", *fleetQuota)
+	}
+	if *fleetBudget <= 0 {
+		return fmt.Errorf("-budget must be positive (shared resident pages of the fleet experiment), got %d", *fleetBudget)
+	}
+	if *fleetBursts <= 0 {
+		return fmt.Errorf("-bursts must be positive (request bursts per tenant), got %d", *fleetBursts)
 	}
 	var sloTargets []obs.SLOTarget
 	if *sloFlag != "" {
@@ -625,6 +674,158 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d figures)\n\n", path, len(search.Figures))
+		return nil
+	})
+	run("fleet", func() error {
+		// Multi-tenant fleet observatory: at each tenant count, a
+		// mixed-strategy fleet shares ONE page cache. The bench slice
+		// carries the per-strategy SLO-attainment means, the isolation
+		// geomeans vs each tenant's solo run, and the fairness spread
+		// (min/max isolation across the fleet); the CSV carries the
+		// who-evicted-whom matrices.
+		ws := filterWorkloads(workloads.Serve(), keep)
+		if len(ws) == 0 {
+			fmt.Printf("fleet: no selected workloads, skipped\n\n")
+			return nil
+		}
+		strategies := []string{core.StrategyCombined, core.StrategyC3, core.StrategyExtTSP, core.StrategySLOSearch}
+		// One image per tenant layout: fleet interference is a property of
+		// the shared cache, not of build-seed noise.
+		fhcfg := cfg
+		fhcfg.Builds = 1
+		fhcfg.Iterations = 1
+		fh := eval.NewHarness(fhcfg)
+		var csv strings.Builder
+		csv.WriteString("tenants,evictor,owner,pages\n")
+		fairness := map[string]float64{}
+		for _, n := range fleetCounts {
+			if max := len(ws) * len(strategies); n > max {
+				fmt.Printf("fleet: %d tenants exceeds the %d distinct workload×strategy pairs, skipped\n\n", n, max)
+				continue
+			}
+			// Diagonal traversal of the workload×strategy grid: small fleets
+			// already mix strategies instead of replaying one column.
+			specs := make([]eval.TenantSpec, 0, n)
+			for i := 0; i < n; i++ {
+				specs = append(specs, eval.TenantSpec{
+					Workload: ws[i%len(ws)].Name,
+					Strategy: strategies[(i/len(ws)+i%len(ws))%len(strategies)],
+					QuotaPct: *fleetQuota,
+				})
+			}
+			fos, err := fh.MeasureFleet(eval.FleetConfig{
+				Tenants:     specs,
+				Bursts:      *fleetBursts,
+				PressurePct: 40,
+				CacheBudget: *fleetBudget,
+			})
+			if err != nil {
+				return err
+			}
+			fo := fos[0]
+			rows := make([]textviz.FleetRow, 0, len(fo.Tenants))
+			for _, t := range fo.Tenants {
+				att := 0
+				for _, a := range t.Attainment {
+					if a.Attained {
+						att++
+					}
+				}
+				rows = append(rows, textviz.FleetRow{
+					Tenant: t.Tenant, Workload: t.Spec.Workload, Strategy: t.Spec.Strategy,
+					QuotaPages: t.QuotaPages, StartupNanos: t.StartupNanos,
+					WarmMeanNanos: t.WarmMeanNanos, WarmP99Nanos: t.WarmP99Nanos,
+					MajorFaults: t.Counters.MajorFaults, Refaults: t.Counters.Refaults,
+					EvictedPages: t.EvictedPages, ResidentPages: int64(t.ResidentPages),
+					SLOAttained: att, SLOTargets: len(t.Attainment),
+					IsolationLatency: t.IsolationLatency, IsolationRefault: t.IsolationRefault,
+				})
+			}
+			fmt.Print(textviz.FleetTable(fmt.Sprintf(
+				"Fleet scorecard (%d tenants, budget %d pages, quota %d%%)",
+				n, *fleetBudget, *fleetQuota), rows))
+			fmt.Println()
+			fmt.Println(textviz.FleetMatrix(fo.EvictedBy, fo.TotalEvictions))
+			label := func(i int) string {
+				if i == 0 {
+					return "ext"
+				}
+				t := fo.Tenants[i-1]
+				return fmt.Sprintf("t%02d:%s/%s", t.Tenant, t.Spec.Workload, t.Spec.Strategy)
+			}
+			for i, row := range fo.EvictedBy {
+				for j := 1; j < len(row); j++ {
+					fmt.Fprintf(&csv, "%d,%s,%s,%d\n", n, label(i), label(j), row[j])
+				}
+			}
+			attained := map[string][]float64{}
+			isolation := map[string][]float64{}
+			isoMin, isoMax := math.Inf(1), 0.0
+			for _, t := range fo.Tenants {
+				att := 0
+				for _, a := range t.Attainment {
+					if a.Attained {
+						att++
+					}
+				}
+				if len(t.Attainment) > 0 {
+					attained[t.Spec.Strategy] = append(attained[t.Spec.Strategy],
+						float64(att)/float64(len(t.Attainment)))
+				}
+				if t.IsolationLatency > 0 {
+					isolation[t.Spec.Strategy] = append(isolation[t.Spec.Strategy], t.IsolationLatency)
+					isoMin = math.Min(isoMin, t.IsolationLatency)
+					isoMax = math.Max(isoMax, t.IsolationLatency)
+				}
+			}
+			geoAtt := map[string]float64{}
+			for s, fs := range attained {
+				sum := 0.0
+				for _, f := range fs {
+					sum += f
+				}
+				geoAtt[s] = sum / float64(len(fs))
+			}
+			baseline.Figures[fmt.Sprintf("fleet-attained-t%d", n)] = geoAtt
+			geoIso := map[string]float64{}
+			for s, fs := range isolation {
+				geoIso[s] = geomean(fs)
+			}
+			if len(geoIso) > 0 {
+				baseline.Figures[fmt.Sprintf("fleet-isolation-t%d", n)] = geoIso
+			}
+			if isoMax > 0 {
+				fairness[fmt.Sprintf("t%d", n)] = isoMin / isoMax
+			}
+		}
+		if len(fairness) > 0 {
+			baseline.Figures["fleet-fairness"] = fairness
+		}
+		cpath := filepath.Join(*out, "fleet-interference.csv")
+		if err := os.WriteFile(cpath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cpath)
+		// BENCH_fleet.json is the fleet slice of the bench doc.
+		fleet := benchDoc{
+			Schema: benchSchema, Device: cfg.Device.Name,
+			Builds: 1, Iterations: 1,
+			Figures: map[string]map[string]float64{},
+		}
+		for key, geo := range baseline.Figures {
+			if strings.HasPrefix(key, "fleet-") {
+				fleet.Figures[key] = geo
+			}
+		}
+		data, err := json.MarshalIndent(fleet, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, "BENCH_fleet.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d figures)\n\n", path, len(fleet.Figures))
 		return nil
 	})
 	run("report", func() error {

@@ -291,6 +291,103 @@ func TestRunSearchFiltered(t *testing.T) {
 	}
 }
 
+// TestRunFleetFiltered smoke-tests the fleet observatory figure: the
+// bench slice and the interference CSV must land, every attainment and
+// isolation figure must be sane, and the graph-derived tenants must
+// attain at least the combined-heuristic tenant's SLO cells.
+func TestRunFleetFiltered(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-figure", "fleet",
+		"-builds", "1", "-iters", "1",
+		"-tenants", "2,4", "-budget", "192", "-bursts", "3",
+		"-out", dir, "-bench", "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdata, err := os.ReadFile(filepath.Join(dir, "fleet-interference.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(cdata)), "\n")
+	// Header plus (2+1)² cells minus the omitted owner-0 column per mix:
+	// 3×2 rows for 2 tenants, 5×4 for 4 tenants.
+	if want := 1 + 3*2 + 5*4; len(lines) != want {
+		t.Errorf("interference CSV rows = %d, want %d:\n%s", len(lines), want, cdata)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string                        `json:"schema"`
+		Figures map[string]map[string]float64 `json:"figures"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "nimage.bench/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	for _, n := range []int{2, 4} {
+		att := doc.Figures[fmt.Sprintf("fleet-attained-t%d", n)]
+		if len(att) == 0 {
+			t.Fatalf("no fleet-attained-t%d figure: %v", n, doc.Figures)
+		}
+		// The acceptance criterion: graph-based tenants hold at least the
+		// combined heuristic's attainment inside the shared cache.
+		if base, ok := att["cu+heap path"]; ok {
+			for s, f := range att {
+				if s != "cu+heap path" && f < base {
+					t.Errorf("t%d: %s attains %.3f, below cu+heap path's %.3f", n, s, f, base)
+				}
+			}
+		}
+		iso := doc.Figures[fmt.Sprintf("fleet-isolation-t%d", n)]
+		for s, f := range iso {
+			if f <= 0 {
+				t.Errorf("t%d: strategy %s: non-positive isolation geomean %v", n, s, f)
+			}
+		}
+	}
+	fair := doc.Figures["fleet-fairness"]
+	for mix, f := range fair {
+		if f <= 0 || f > 1 {
+			t.Errorf("fairness %s = %v, want in (0, 1]", mix, f)
+		}
+	}
+}
+
+// TestRunRejectsBadFleetFlags: fleet knobs are rejected out of range,
+// not clamped.
+func TestRunRejectsBadFleetFlags(t *testing.T) {
+	cases := map[string][]string{
+		"tenants-one":      {"-tenants", "1"},
+		"tenants-zero":     {"-tenants", "2,0"},
+		"tenants-negative": {"-tenants", "-4"},
+		"tenants-garbage":  {"-tenants", "2,abc"},
+		"tenants-empty":    {"-tenants", ","},
+		"quota-negative":   {"-quota", "-1"},
+		"quota-over-100":   {"-quota", "101"},
+		"budget-zero":      {"-budget", "0"},
+		"budget-negative":  {"-budget", "-64"},
+		"bursts-zero":      {"-bursts", "0"},
+		"bursts-negative":  {"-bursts", "-3"},
+	}
+	for name, extra := range cases {
+		args := append([]string{"-figure", "fleet", "-out", t.TempDir(), "-bench", ""}, extra...)
+		err := run(args)
+		if err == nil {
+			t.Errorf("%s: accepted %v", name, extra)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must") {
+			t.Errorf("%s: unhelpful error %v", name, err)
+		}
+	}
+}
+
 // TestRunRejectsUnknownWorkload: filter names must resolve.
 func TestRunRejectsUnknownWorkload(t *testing.T) {
 	if err := run([]string{"-figure", "2", "-workloads", "NoSuch", "-out", t.TempDir(), "-bench", ""}); err == nil {

@@ -48,6 +48,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "slo":
 		err = cmdSlo(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "tune":
 		err = cmdTune(os.Args[2:])
 	case "profile":
@@ -90,6 +92,7 @@ commands:
   run       build and run images cold, print page faults and times
   serve     drive request bursts under cache pressure, print burst telemetry
   slo       sweep pressure with concurrent streams, score layouts against latency SLOs
+  fleet     serve N tenants from one shared page cache, print the interference matrix
   tune      run the SLO-driven layout search, print the trajectory and winner
   profile   run the profile-guided pipeline, write ordering profiles
   order     print the per-strategy object match breakdown across builds

@@ -66,7 +66,7 @@ func TestCmdServe(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report JSON: %v", err)
 	}
-	if rep.Schema != "nimage.report/v5" {
+	if rep.Schema != "nimage.report/v6" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if len(rep.Entries) == 0 || len(rep.Entries[0].Serve) == 0 {
@@ -168,6 +168,92 @@ func TestCmdSloRejectsBadFlags(t *testing.T) {
 	}
 	for name, args := range cases {
 		err := cmdSlo(args)
+		if err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must") {
+			t.Errorf("%s: unhelpful error %v", name, err)
+		}
+	}
+}
+
+func TestCmdFleet(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fleet.json")
+	trace := filepath.Join(dir, "trace.json")
+	report := filepath.Join(dir, "report.json")
+	if err := cmdFleet([]string{"-tenants", "2", "-budget", "96", "-quota", "40",
+		"-bursts", "2", "-burst", "6", "-o", out, "-trace", trace, "-report", report}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema    string      `json:"schema"`
+		Tenants   []any       `json:"tenants"`
+		EvictedBy [][]float64 `json:"evicted_by"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("fleet JSON: %v", err)
+	}
+	if rep.Schema != "nimage.fleet/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Tenants) != 2 || len(rep.EvictedBy) != 3 {
+		t.Fatalf("tenants=%d matrix rows=%d", len(rep.Tenants), len(rep.EvictedBy))
+	}
+	st, err := os.Stat(trace)
+	if err != nil || st.Size() == 0 {
+		t.Errorf("Chrome trace missing or empty: %v", err)
+	}
+	rdata, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Fleet  *struct {
+			Schema string `json:"schema"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(rdata, &doc); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if doc.Schema != "nimage.report/v6" || doc.Fleet == nil || doc.Fleet.Schema != "nimage.fleet/v1" {
+		t.Fatalf("report document: %+v", doc)
+	}
+	if err := cmdFleet([]string{"-tenants", "2", "-workloads", "Sieve,serve-api",
+		"-bursts", "2", "-burst", "4"}); err == nil {
+		t.Fatal("non-serve workload accepted")
+	}
+	if err := cmdFleet([]string{"-tenants", "2", "-policy", "bogus"}); err == nil {
+		t.Fatal("unknown eviction policy accepted")
+	}
+	if err := cmdFleet([]string{"-tenants", "99"}); err == nil {
+		t.Fatal("tenant count beyond the distinct pair space accepted")
+	}
+}
+
+func TestCmdFleetRejectsBadFlags(t *testing.T) {
+	cases := map[string][]string{
+		"tenants-one":       {"-tenants", "1"},
+		"tenants-zero":      {"-tenants", "0"},
+		"tenants-negative":  {"-tenants", "-2"},
+		"quota-negative":    {"-tenants", "2", "-quota", "-1"},
+		"quota-over-100":    {"-tenants", "2", "-quota", "101"},
+		"budget-zero":       {"-tenants", "2", "-budget", "0"},
+		"budget-negative":   {"-tenants", "2", "-budget", "-64"},
+		"bursts-zero":       {"-tenants", "2", "-bursts", "0"},
+		"bursts-negative":   {"-tenants", "2", "-bursts", "-3"},
+		"burst-zero":        {"-tenants", "2", "-burst", "0"},
+		"pressure-over-100": {"-tenants", "2", "-pressure", "140"},
+		"hot-pct-negative":  {"-tenants", "2", "-hot-pct", "-5"},
+	}
+	for name, args := range cases {
+		err := cmdFleet(args)
 		if err == nil {
 			t.Errorf("%s: accepted %v", name, args)
 			continue

@@ -49,7 +49,7 @@ func cmdServe(args []string) error {
 	hotRoutes := fs.Int("hot-routes", 4, "size of the hot route set")
 	seed := fs.Uint64("seed", 0, "request-stream seed (0 = default)")
 	streams := fs.Int("streams", 1, "concurrent closed-loop request streams")
-	report := fs.String("report", "", "write a nimage.report/v5 JSON document to this file")
+	report := fs.String("report", "", "write a nimage.report/v6 JSON document to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

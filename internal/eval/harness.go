@@ -123,6 +123,7 @@ type Harness struct {
 	serveImgs   map[string]*image.Image
 	serveGraphs map[string]*affinity.Graph
 	searchCache map[string]*SearchResult
+	fleetCache  map[string][]*FleetOutcome
 
 	sched sched
 }
@@ -138,6 +139,7 @@ func NewHarness(cfg Config) *Harness {
 		serveImgs:   make(map[string]*image.Image),
 		serveGraphs: make(map[string]*affinity.Graph),
 		searchCache: make(map[string]*SearchResult),
+		fleetCache:  make(map[string][]*FleetOutcome),
 	}
 }
 

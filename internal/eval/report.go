@@ -20,10 +20,13 @@ import (
 // per-entry serve-mode outcomes (burst telemetry under cache pressure); v4
 // added the per-entry temporal co-access affinity graph (merged over builds
 // and iterations, schema nimage.affinity/v1) and the per-measure layout
-// scorecards; v5 adds the optional top-level SLO section (schema
+// scorecards; v5 added the optional top-level SLO section (schema
 // nimage.slo/v1: per-strategy attainment and error-budget burn over the
-// serve request traces) and the per-outcome request traces behind it.
-const ReportSchema = "nimage.report/v5"
+// serve request traces) and the per-outcome request traces behind it;
+// v6 adds the optional top-level fleet section (schema nimage.fleet/v1:
+// per-tenant scorecards and the cross-tenant interference matrix of a
+// shared-cache fleet run).
+const ReportSchema = "nimage.report/v6"
 
 // Report is the consolidated observability document the evaluation emits:
 // per workload and strategy, the build-pipeline snapshots (stage spans,
@@ -47,6 +50,9 @@ type Report struct {
 	// traces (schema nimage.slo/v1); nil unless the report was produced by
 	// the serve protocol with request recording on.
 	SLO *obs.SLOReport `json:"slo,omitempty"`
+	// Fleet is the multi-tenant observatory scorecard (schema
+	// nimage.fleet/v1); nil unless the report was produced by a fleet run.
+	Fleet *obs.FleetReport `json:"fleet,omitempty"`
 }
 
 // ReportEntry is the report of one (workload, strategy) pair. Strategy is
@@ -210,6 +216,41 @@ func (h *Harness) ServeReport(w workloads.Workload, strategies []string, scfg Se
 		}
 		if len(graphs) > 0 {
 			e.Affinity = affinity.Merge(graphs...)
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}
+
+// FleetServeReport wraps one fleet run in the consolidated report
+// document: one entry per tenant names the fleet's workload × strategy
+// pairs (with the tenant's obs snapshot in Runs), and the Fleet section
+// carries the nimage.fleet/v1 scorecard with the interference matrix.
+func (h *Harness) FleetServeReport(fcfg FleetConfig) (*Report, error) {
+	fos, err := h.MeasureFleet(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	fo := fos[0]
+	rep := &Report{
+		Schema:     ReportSchema,
+		Device:     h.Cfg.Device.Name,
+		Builds:     h.Cfg.Builds,
+		Iterations: 1,
+		Workers:    h.Workers(),
+		Fleet:      fo.FleetReport(),
+	}
+	// The fleet run shares one OS, hence one snapshot; attach it to the
+	// first entry only so the document stays non-redundant.
+	snap := fo.Report
+	for _, t := range fo.Tenants {
+		e := ReportEntry{Workload: t.Spec.Workload, Service: true}
+		if t.Spec.Strategy != LayoutBaseline {
+			e.Strategy = t.Spec.Strategy
+		}
+		if snap != nil {
+			e.Runs = []*obs.Snapshot{snap}
+			snap = nil
 		}
 		rep.Entries = append(rep.Entries, e)
 	}

@@ -265,7 +265,7 @@ func TestServeLatencyTable(t *testing.T) {
 	}
 }
 
-func TestServeReportV5(t *testing.T) {
+func TestServeReportV6(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Builds = 1
 	cfg.Iterations = 1
@@ -276,11 +276,14 @@ func TestServeReportV5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "nimage.report/v5" {
+	if rep.Schema != "nimage.report/v6" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if rep.SLO != nil {
 		t.Error("report carries an SLO section without request recording")
+	}
+	if rep.Fleet != nil {
+		t.Error("report carries a fleet section outside a fleet run")
 	}
 	if len(rep.Entries) != 1 {
 		t.Fatalf("got %d entries, want 1 (baseline only)", len(rep.Entries))

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -190,6 +192,76 @@ func TestMergeSnapshotsStreamHistograms(t *testing.T) {
 			if got.Quantile(q) != want.Quantile(q) {
 				t.Errorf("merged q%v = %v, union = %v", q, got.Quantile(q), want.Quantile(q))
 			}
+		}
+	}
+}
+
+// TestMergeSnapshotsTenantTimelines is the fleet merge contract: the
+// per-tenant burst timelines the fleet harness records (one timeline per
+// tenant inside each build's registry) merge order-independently — every
+// tenant keeps its own event stream with the values untouched and the
+// per-snapshot event order preserved, no matter which build's snapshot
+// is merged first.
+func TestMergeSnapshotsTenantTimelines(t *testing.T) {
+	burstFields := []string{"requests", "p50_nanos", "p99_nanos", "major", "minor", "refaults", "evicted", "resident"}
+	build := func(seed int64) *Snapshot {
+		r := NewRegistry()
+		for tenant := 0; tenant < 2; tenant++ {
+			tl := r.Timeline(fmt.Sprintf("fleet.tenant%02d.burst", tenant), burstFields...)
+			for b := int64(0); b < 3; b++ {
+				tl.Record(fmt.Sprintf("burst%d", b),
+					8, 100*seed+b, 900*seed+b, seed, 2*seed, b, 4*b, 96-b)
+			}
+		}
+		return r.Snapshot()
+	}
+	a, b := build(1), build(2)
+	forward := MergeSnapshots(a, b)
+	reversed := MergeSnapshots(b, a)
+
+	for tenant := 0; tenant < 2; tenant++ {
+		name := fmt.Sprintf("fleet.tenant%02d.burst", tenant)
+		fw, rv := forward.Timeline(name), reversed.Timeline(name)
+		if fw == nil || rv == nil {
+			t.Fatalf("tenant timeline %s lost in merge", name)
+		}
+		if !reflect.DeepEqual(fw.Fields, burstFields) {
+			t.Errorf("%s fields = %v", name, fw.Fields)
+		}
+		if len(fw.Events) != 6 || len(rv.Events) != 6 {
+			t.Fatalf("%s events: forward %d, reversed %d, want 6", name, len(fw.Events), len(rv.Events))
+		}
+		// The same (label, values) multiset lands regardless of merge order:
+		// only the sequence rebasing — hence which build's events come
+		// first — depends on argument order.
+		strip := func(evs []TimelineEvent) []TimelineEvent {
+			out := make([]TimelineEvent, len(evs))
+			copy(out, evs)
+			for i := range out {
+				out[i].Seq = 0
+			}
+			sort.Slice(out, func(i, j int) bool {
+				if out[i].Label != out[j].Label {
+					return out[i].Label < out[j].Label
+				}
+				return out[i].Values[1] < out[j].Values[1]
+			})
+			return out
+		}
+		if !reflect.DeepEqual(strip(fw.Events), strip(rv.Events)) {
+			t.Errorf("%s: merge order changed the per-tenant events\nforward:  %+v\nreversed: %+v",
+				name, fw.Events, rv.Events)
+		}
+		// Within one merge, each snapshot's events keep their relative order
+		// and their values: the three bursts of each build stay contiguous
+		// and ascending.
+		for i := 1; i < 3; i++ {
+			if fw.Events[i].Seq <= fw.Events[i-1].Seq {
+				t.Errorf("%s: first build's bursts reordered: %+v", name, fw.Events[:3])
+			}
+		}
+		if !reflect.DeepEqual(fw.Events[0].Values, []int64{8, 100, 900, 1, 2, 0, 0, 96}) {
+			t.Errorf("%s: first burst values mutated: %+v", name, fw.Events[0].Values)
 		}
 	}
 }

@@ -106,7 +106,7 @@ func (o *OS) ResidentPages() int { return o.residentTotal }
 func (o *OS) Reclaim(n int) int {
 	evicted := 0
 	for evicted < n && o.residentTotal > 0 {
-		if !o.evictVictim(nil, -1, EvictPressure) {
+		if !o.evictVictim(nil, -1, EvictPressure, -1) {
 			break
 		}
 		evicted++
@@ -124,13 +124,15 @@ func (o *OS) ReclaimFraction(pct int) int {
 }
 
 // enforceBudget evicts pages until the resident total fits the budget,
-// never evicting the pinned (currently faulting) page.
-func (o *OS) enforceBudget(pin *File, pinPage int) {
+// never evicting the pinned (currently faulting) page. evictor is the
+// tenant whose fault forced the evictions (-1 for none), for the
+// interference matrix.
+func (o *OS) enforceBudget(pin *File, pinPage int, evictor int) {
 	if o.CacheBudget <= 0 {
 		return
 	}
 	for o.residentTotal > o.CacheBudget {
-		if !o.evictVictim(pin, pinPage, EvictBudget) {
+		if !o.evictVictim(pin, pinPage, EvictBudget, evictor) {
 			return
 		}
 	}
@@ -138,19 +140,19 @@ func (o *OS) enforceBudget(pin *File, pinPage int) {
 
 // evictVictim selects one victim page under the policy and evicts it.
 // Returns false when no evictable page exists.
-func (o *OS) evictVictim(pin *File, pinPage int, cause EvictCause) bool {
+func (o *OS) evictVictim(pin *File, pinPage int, cause EvictCause, evictor int) bool {
 	switch o.Policy {
 	case EvictClock:
-		return o.clockEvict(pin, pinPage, cause)
+		return o.clockEvict(pin, pinPage, cause, evictor)
 	default:
-		return o.lruEvict(pin, pinPage, cause)
+		return o.lruEvict(pin, pinPage, cause, evictor)
 	}
 }
 
 // lruEvict evicts the resident page with the smallest last-use stamp
 // (ties broken by file registration order, then page index, so victim
 // selection is deterministic).
-func (o *OS) lruEvict(pin *File, pinPage int, cause EvictCause) bool {
+func (o *OS) lruEvict(pin *File, pinPage int, cause EvictCause, evictor int) bool {
 	var victim *File
 	vp := -1
 	var vUse int64
@@ -167,14 +169,14 @@ func (o *OS) lruEvict(pin *File, pinPage int, cause EvictCause) bool {
 	if victim == nil {
 		return false
 	}
-	o.evictPage(victim, vp, cause)
+	o.evictPage(victim, vp, cause, evictor)
 	return true
 }
 
 // clockEvict advances the global clock hand over the concatenated page
 // space of all files: referenced resident pages get a second chance (bit
 // cleared), the first unreferenced resident page is evicted.
-func (o *OS) clockEvict(pin *File, pinPage int, cause EvictCause) bool {
+func (o *OS) clockEvict(pin *File, pinPage int, cause EvictCause, evictor int) bool {
 	total := 0
 	for _, f := range o.files {
 		total += len(f.resident)
@@ -195,7 +197,7 @@ func (o *OS) clockEvict(pin *File, pinPage int, cause EvictCause) bool {
 			f.ref[p] = false
 			continue
 		}
-		o.evictPage(f, p, cause)
+		o.evictPage(f, p, cause, evictor)
 		return true
 	}
 	return false
@@ -214,13 +216,17 @@ func (o *OS) pageAt(pos int) (*File, int) {
 }
 
 // evictPage removes one resident page from the cache: accounting, rmap
-// unmap from every live mapping, and observer notification.
-func (o *OS) evictPage(f *File, p int, cause EvictCause) {
+// unmap from every live mapping, and observer notification. evictor is
+// the tenant whose fault forced the eviction (-1 for external pressure
+// or DropCaches), charged against the file's owning tenant in the
+// interference matrix.
+func (o *OS) evictPage(f *File, p int, cause EvictCause, evictor int) {
 	f.resident[p] = false
 	o.residentTotal--
 	f.evicted++
 	sec := f.pageSection(p)
 	f.evictBySec[sec]++
+	o.noteEviction(evictor, f.tenant)
 	if cause == EvictDrop {
 		// DropCaches is the deliberate cold-start reset between benchmark
 		// iterations, not memory pressure: re-fault tracking restarts.

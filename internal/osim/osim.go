@@ -82,7 +82,22 @@ type OS struct {
 	// by Reclaim (EvictLRU by default).
 	Policy EvictionPolicy
 
+	// DefaultTenant, when non-negative, tags every file and mapping
+	// created afterwards with that tenant id, as if SetTenant were called
+	// at Map() time. The fleet harness sets it around each tenant's
+	// process construction, because NewProcess touches pages before the
+	// caller could tag the mapping itself. NewOS initializes it to -1
+	// (untenanted).
+	DefaultTenant int
+
 	files []*File
+
+	// Tenant accounting state (tenant.go): per-tenant fault counters, the
+	// eviction interference matrix, and per-tenant residency quotas. All
+	// nil until tenancy is first enabled, so untenanted runs pay nothing.
+	perTenant   []TenantFaults
+	evictedBy   [][]int64
+	tenantQuota map[int]int
 
 	// Replacement-policy state: a logical access clock for LRU stamps,
 	// the resident total the budget is enforced against, and the clock
@@ -124,7 +139,7 @@ const DefaultFaultAround = 8
 
 // NewOS creates an OS with an empty page cache.
 func NewOS(dev Device) *OS {
-	return &OS{Device: dev, FaultAround: DefaultFaultAround, MaxReadahead: 32}
+	return &OS{Device: dev, FaultAround: DefaultFaultAround, MaxReadahead: 32, DefaultTenant: -1}
 }
 
 // Section is a named contiguous byte range of a file (e.g. ".text").
@@ -155,6 +170,10 @@ type File struct {
 	// mappings are the live mappings of the file; evicting a page unmaps
 	// it from each of them (the kernel's rmap walk).
 	mappings []*Mapping
+
+	// tenant owns the file's pages in the interference matrix (-1 when
+	// untenanted), fixed at NewFile time from OS.DefaultTenant.
+	tenant int
 
 	// Cumulative cache-churn counters. Invariant (enforced by test):
 	// ResidentPages() == readIn - evicted at every point in time.
@@ -187,6 +206,10 @@ func (o *OS) NewFile(name string, size int64, sections []Section) (*File, error)
 		ref:         make([]bool, n),
 		everEvicted: make([]bool, n),
 		evictBySec:  make([]int64, len(sections)+1),
+		tenant:      o.DefaultTenant,
+	}
+	if f.tenant >= 0 {
+		o.enableTenants(f.tenant)
 	}
 	o.files = append(o.files, f)
 	return f, nil
@@ -202,7 +225,7 @@ func (o *OS) DropCaches() {
 	for _, f := range o.files {
 		for p, res := range f.resident {
 			if res {
-				o.evictPage(f, p, EvictDrop)
+				o.evictPage(f, p, EvictDrop, -1)
 			}
 		}
 		for p := range f.everEvicted {
@@ -260,6 +283,11 @@ type Mapping struct {
 	// first called so untagged mappings pay nothing for the accounting.
 	stream    int
 	perStream []StreamFaults
+
+	// tenant is the tenant subsequent faults are charged to (-1 when
+	// untenanted): set by SetTenant, inherited from OS.DefaultTenant at
+	// Map() time (tenant.go).
+	tenant int
 
 	// Faults counts all page faults taken through this mapping.
 	Faults int64
@@ -322,6 +350,10 @@ func (f *File) Map() *Mapping {
 	m.other.Section = "<other>"
 	m.lastEnd = -1
 	m.lastAccessPage = -1
+	m.tenant = f.os.DefaultTenant
+	if m.tenant >= 0 {
+		f.os.enableTenants(m.tenant)
+	}
 	if r := f.os.Obs; r.Enabled() {
 		// The trailing "section" column carries the section *index* (stable
 		// across builds of the same program, unlike event order), so merged
@@ -491,10 +523,13 @@ func (m *Mapping) Touch(off int64) {
 			m.readHist.Observe(float64(read))
 		}
 		// The read may have overflowed the resident budget: reclaim down
-		// to it, never evicting the page this fault needs.
-		m.file.os.enforceBudget(m.file, p)
+		// to it, never evicting the page this fault needs. Evictions are
+		// charged to this mapping's tenant in the interference matrix.
+		m.file.os.enforceBudget(m.file, p, m.tenant)
+		m.file.os.enforceQuota(m.tenant, m.file, p)
 	}
 	m.chargeStream(major, refault, faultIO)
+	m.chargeTenant(major, refault, faultIO)
 	m.file.noteUse(p)
 	if m.tl != nil {
 		var mj int64

@@ -1,0 +1,110 @@
+package textviz
+
+// Terminal rendering of the fleet observatory (`nimage fleet`). FleetRow
+// mirrors one obs.FleetTenant without importing the obs package —
+// textviz stays a leaf rendering layer — and the interference matrix is
+// rendered as a who-evicted-whom grid with its partition totals.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FleetRow is one tenant line of the fleet scorecard.
+type FleetRow struct {
+	Tenant     int
+	Workload   string
+	Strategy   string
+	QuotaPages int
+	// Latency aggregates in simulated nanoseconds.
+	StartupNanos  float64
+	WarmMeanNanos float64
+	WarmP99Nanos  float64
+	// Fault traffic charged to the tenant and owner-side page churn.
+	MajorFaults   int64
+	Refaults      int64
+	EvictedPages  int64
+	ResidentPages int64
+	// SLO attainment over the warm requests: cells attained of cells
+	// scored.
+	SLOAttained int
+	SLOTargets  int
+	// Isolation factors vs the tenant's solo run (>1: the fleet made it
+	// worse); zero when no solo baseline was measured.
+	IsolationLatency float64
+	IsolationRefault float64
+}
+
+// FleetTable renders the per-tenant scorecard: identity, latency, fault
+// and residency telemetry, SLO attainment and isolation factors.
+func FleetTable(title string, rows []FleetRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-3s %-12s %-14s %6s %10s %10s %10s %6s %8s %8s %9s %5s %9s %9s\n",
+		"id", "workload", "strategy", "quota", "startup", "warm mean", "warm p99",
+		"major", "refaults", "evicted", "resident", "slo", "iso(lat)", "iso(ref)")
+	for _, r := range rows {
+		quota := "-"
+		if r.QuotaPages > 0 {
+			quota = fmt.Sprintf("%dp", r.QuotaPages)
+		}
+		iso := func(v float64) string {
+			if v <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", v)
+		}
+		fmt.Fprintf(&b, "%-3d %-12s %-14s %6s %10v %10v %10v %6d %8d %8d %9d %2d/%-2d %9s %9s\n",
+			r.Tenant, r.Workload, r.Strategy, quota,
+			time.Duration(r.StartupNanos), time.Duration(r.WarmMeanNanos),
+			time.Duration(r.WarmP99Nanos),
+			r.MajorFaults, r.Refaults, r.EvictedPages, r.ResidentPages,
+			r.SLOAttained, r.SLOTargets,
+			iso(r.IsolationLatency), iso(r.IsolationRefault))
+	}
+	return b.String()
+}
+
+// FleetMatrix renders the interference matrix: rows are evictors (the
+// tenant whose fault forced the eviction, "ext" for external pressure),
+// columns are page owners. Cells partition the total evictions exactly,
+// so the grid's margin sums are the per-tenant eviction counts.
+func FleetMatrix(evictedBy [][]int64, total int64) string {
+	if len(evictedBy) == 0 {
+		return ""
+	}
+	tenants := len(evictedBy) - 1
+	var b strings.Builder
+	fmt.Fprintf(&b, "Interference matrix (rows evict, columns own; %d evictions total)\n", total)
+	fmt.Fprintf(&b, "%-10s", "evictor\\own")
+	for j := 0; j < tenants; j++ {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("t%02d", j))
+	}
+	fmt.Fprintf(&b, " %8s\n", "row sum")
+	rowLabel := func(i int) string {
+		if i == 0 {
+			return "ext"
+		}
+		return fmt.Sprintf("t%02d", i-1)
+	}
+	colSums := make([]int64, tenants)
+	for i, row := range evictedBy {
+		var rowSum int64
+		fmt.Fprintf(&b, "%-10s", rowLabel(i))
+		// Column 0 (untenanted files) is omitted: fleet runs own every
+		// file, so it is structurally zero.
+		for j := 1; j < len(row); j++ {
+			fmt.Fprintf(&b, " %8d", row[j])
+			rowSum += row[j]
+			colSums[j-1] += row[j]
+		}
+		fmt.Fprintf(&b, " %8d\n", rowSum)
+	}
+	fmt.Fprintf(&b, "%-10s", "col sum")
+	for _, s := range colSums {
+		fmt.Fprintf(&b, " %8d", s)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

@@ -654,6 +654,83 @@ func SearchRows(rep *SearchReport) []SearchRowText {
 	return rows
 }
 
+// Fleet observatory (Harness.MeasureFleet / `nimage fleet`): N tenants
+// (serve workload × strategy pairs) served concurrently from one
+// simulated OS under a shared page-cache budget, with per-tenant
+// telemetry, SLO attainment, isolation factors against each tenant's
+// solo run, and the cross-tenant eviction interference matrix.
+
+// TenantSpec names one fleet tenant: a serve workload × strategy pair
+// with an optional residency quota (percent of the shared budget).
+type TenantSpec = eval.TenantSpec
+
+// FleetConfig tunes one multi-tenant serve scenario.
+type FleetConfig = eval.FleetConfig
+
+// TenantOutcome is one tenant's view of a fleet run.
+type TenantOutcome = eval.TenantOutcome
+
+// FleetOutcome is one build's fleet run: tenants plus the interference
+// matrix and the whole-OS totals the per-tenant counters partition.
+type FleetOutcome = eval.FleetOutcome
+
+// FleetTenant is one tenant's serialized scorecard, and FleetBurst one
+// burst of its timeline.
+type FleetTenant = obs.FleetTenant
+
+type FleetBurst = obs.FleetBurst
+
+// FleetReport is the fleet observatory document (nimage.fleet/v1).
+type FleetReport = obs.FleetReport
+
+var (
+	// WriteFleetReport / ReadFleetReport are the nimage.fleet/v1 codec;
+	// WriteFleetChromeTrace exports a fleet run as Chrome trace-event JSON
+	// (one track per tenant plus an eviction-pressure counter track).
+	WriteFleetReport      = obs.WriteFleetReport
+	ReadFleetReport       = obs.ReadFleetReport
+	WriteFleetChromeTrace = obs.WriteFleetChromeTrace
+)
+
+// FleetRowText is one tenant row of the rendered fleet table.
+type FleetRowText = textviz.FleetRow
+
+// FleetTableText renders the per-tenant fleet scorecard as a text table.
+func FleetTableText(title string, rows []FleetRowText) string {
+	return textviz.FleetTable(title, rows)
+}
+
+// FleetMatrixText renders the interference matrix as a text grid.
+func FleetMatrixText(evictedBy [][]int64, total int64) string {
+	return textviz.FleetMatrix(evictedBy, total)
+}
+
+// FleetRows flattens a fleet report's tenants into renderable table rows.
+func FleetRows(rep *FleetReport) []FleetRowText {
+	var rows []FleetRowText
+	for _, tn := range rep.Tenants {
+		r := FleetRowText{
+			Tenant: tn.Tenant, Workload: tn.Workload, Strategy: tn.Strategy,
+			QuotaPages:    tn.QuotaPages,
+			StartupNanos:  tn.StartupNanos,
+			WarmMeanNanos: tn.WarmMeanNanos,
+			WarmP99Nanos:  tn.WarmP99Nanos,
+			MajorFaults:   tn.MajorFaults, Refaults: tn.Refaults,
+			EvictedPages: tn.EvictedPages, ResidentPages: tn.ResidentPages,
+			SLOTargets:       len(tn.Attainment),
+			IsolationLatency: tn.IsolationLatency,
+			IsolationRefault: tn.IsolationRefault,
+		}
+		for _, a := range tn.Attainment {
+			if a.Attained {
+				r.SLOAttained++
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
 // Visualization (Fig. 6).
 
 // PageState classifies one page of a section after a run.
